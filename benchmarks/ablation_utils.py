@@ -1,0 +1,22 @@
+"""Helpers for ablation benchmarks that need customized controllers."""
+
+from repro.sim.results import weighted_speedup
+from repro.sim.runner import simulate
+from repro.sim.system import SimulatedSystem
+from repro.workloads import get_workload
+
+
+def run_custom(workload_name, design, config, mutate=None):
+    """Simulate with a post-construction tweak applied to the system.
+
+    ``mutate(system)`` may replace the controller's compressor, config or
+    policy before the run; the uncompressed baseline comes from the shared
+    runner cache.
+    """
+    workload = get_workload(workload_name)
+    system = SimulatedSystem(workload, design, config)
+    if mutate is not None:
+        mutate(system)
+    result = system.run()
+    baseline = simulate(workload, "uncompressed", config)
+    return result, weighted_speedup(result, baseline)

@@ -1,0 +1,45 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artefacts.
+Simulations are memoized process-wide (``repro.sim.runner``), so designs
+and baselines shared between figures are only simulated once per pytest
+session.  Each benchmark prints its rows (the "figure") and dumps them as
+JSON under ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+
+Scale note: these run the ``bench_config`` system (DESIGN.md §4) — a
+proportionally scaled machine with short synthetic traces.  Shapes and
+orderings are the reproduction target, not absolute values.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.sim.config import bench_config
+
+#: the one config every figure uses (baselines shared via the runner cache)
+BENCH_CONFIG = bench_config(ops_per_core=4000, warmup_ops=6000)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_results(experiment_id: str, payload) -> None:
+    """Persist a benchmark's rows for the experiment index."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return BENCH_CONFIG
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Figure generation is deterministic and (via the runner cache)
+    idempotent, so a single round is both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,46 @@
+"""Ablation: DRAM page policy and refresh (USIMM-substrate sensitivity).
+
+PTMC's gain must not hinge on a favourable DRAM configuration: this
+bench re-runs the comparison under closed-page mode and with refresh
+disabled, checking the speedup survives each variation.
+"""
+
+from benchmarks.conftest import run_once, save_results
+from repro.analysis import banner, format_table
+from repro.sim.runner import compare
+
+VARIANTS = {
+    "open+refresh": {},
+    "open-no-refresh": {"refresh": False},
+    "closed+refresh": {"page_policy": "closed"},
+    "closed-no-refresh": {"page_policy": "closed", "refresh": False},
+}
+
+
+def _ablation(config):
+    rows = {}
+    for name, overrides in VARIANTS.items():
+        cfg = config.with_(**overrides)
+        rows[name] = {
+            "spec_speedup": compare("lbm06", "dynamic_ptmc", cfg),
+            "gap_speedup": compare("bfs.twitter", "dynamic_ptmc", cfg),
+        }
+    return rows
+
+
+def test_ablation_dram_policy(benchmark, config):
+    rows = run_once(benchmark, lambda: _ablation(config))
+    print(banner("Ablation — DRAM page policy / refresh"))
+    print(
+        format_table(
+            ["variant", "SPEC speedup", "GAP speedup"],
+            [
+                [name, f"{r['spec_speedup']:.3f}", f"{r['gap_speedup']:.3f}"]
+                for name, r in rows.items()
+            ],
+        )
+    )
+    save_results("abl_dram_policy", rows)
+    for name, r in rows.items():
+        assert r["spec_speedup"] > 1.15, f"{name}: SPEC gain must survive"
+        assert r["gap_speedup"] > 0.93, f"{name}: robustness must survive"

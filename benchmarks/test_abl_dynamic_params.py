@@ -1,0 +1,61 @@
+"""Ablation: Dynamic-PTMC counter width and sampling rate.
+
+The decision must be stable across reasonable parameterizations: a SPEC
+workload keeps compression on, a graph workload turns it off, regardless
+of the exact counter width or sampled fraction.
+"""
+
+from benchmarks.conftest import run_once, save_results
+from repro.analysis import banner, format_table
+from repro.sim.config import SamplingConfig
+from repro.sim.runner import compare, simulate
+
+SWEEP = [
+    {"counter_bits": 8, "sample_period": 4},
+    {"counter_bits": 10, "sample_period": 4},
+    {"counter_bits": 10, "sample_period": 8},
+    {"counter_bits": 12, "sample_period": 4},
+]
+
+
+def _ablation(config):
+    rows = {}
+    for params in SWEEP:
+        cfg = config.with_(
+            sampling=SamplingConfig(per_core=False, benefit_weight=3, **params)
+        )
+        key = f"bits={params['counter_bits']},period={params['sample_period']}"
+        spec = simulate("lbm06", "dynamic_ptmc", cfg)
+        gap = simulate("bfs.twitter", "dynamic_ptmc", cfg)
+        rows[key] = {
+            "spec_speedup": compare("lbm06", "dynamic_ptmc", cfg),
+            "gap_speedup": compare("bfs.twitter", "dynamic_ptmc", cfg),
+            "spec_enabled": spec.extras.get("compression_enabled_final", 1.0),
+            "gap_enabled": gap.extras.get("compression_enabled_final", 1.0),
+        }
+    return rows
+
+
+def test_ablation_dynamic_parameters(benchmark, config):
+    rows = run_once(benchmark, lambda: _ablation(config))
+    print(banner("Ablation — Dynamic-PTMC counter width / sampling rate"))
+    print(
+        format_table(
+            ["params", "SPEC speedup", "GAP speedup", "SPEC on?", "GAP on?"],
+            [
+                [
+                    k,
+                    f"{r['spec_speedup']:.3f}",
+                    f"{r['gap_speedup']:.3f}",
+                    "on" if r["spec_enabled"] >= 0.5 else "off",
+                    "on" if r["gap_enabled"] >= 0.5 else "off",
+                ]
+                for k, r in rows.items()
+            ],
+        )
+    )
+    save_results("abl_dynamic_params", rows)
+    for key, r in rows.items():
+        assert r["spec_speedup"] > 1.1, f"{key}: SPEC gain lost"
+        assert r["gap_speedup"] > 0.93, f"{key}: GAP robustness lost"
+        assert r["spec_enabled"] >= 0.5, f"{key}: compression wrongly disabled"

@@ -1,0 +1,64 @@
+"""Ablation: ganged eviction vs retain-lines (paper footnote 7).
+
+Ganged eviction forces compressed-group members out of the LLC together,
+avoiding read-modify-write at the cost of early evictions.  The paper
+found the difference against a retain-lines scheme minimal at its 8MB-LLC
+scale (where group members stay co-resident for a long time); at this
+reproduction's scaled LLC the retain scheme's RMW reads are a visible
+cost, so the asserted shape is the design argument itself: ganged
+eviction eliminates RMW traffic entirely and never performs worse.
+"""
+
+from benchmarks.ablation_utils import run_custom
+from benchmarks.conftest import run_once, save_results
+from repro.analysis import banner, format_table
+from repro.core.ptmc import PTMCConfig
+from repro.types import Category
+
+WORKLOADS = ("lbm06", "soplex06", "mcf06")
+
+
+def _ablation(config):
+    rows = {}
+    for workload in WORKLOADS:
+        row = {}
+        for label, ganged in (("ganged", True), ("retain", False)):
+            cfg = config.with_(ptmc=PTMCConfig(ganged_eviction=ganged))
+            result, speedup = run_custom(workload, "static_ptmc", cfg)
+            row[f"{label}_speedup"] = speedup
+            row[f"{label}_l3_hit"] = result.l3_hit_rate
+            row[f"{label}_rmw"] = result.dram.accesses_by_category.get(
+                Category.MAINTENANCE, 0
+            )
+        rows[workload] = row
+    return rows
+
+
+def test_ablation_ganged_eviction(benchmark, config):
+    rows = run_once(benchmark, lambda: _ablation(config))
+    print(banner("Ablation — ganged eviction vs retain-lines (footnote 7)"))
+    print(
+        format_table(
+            ["workload", "ganged", "retain", "ganged L3 hit", "retain L3 hit", "retain RMW reads"],
+            [
+                [
+                    w,
+                    f"{r['ganged_speedup']:.3f}",
+                    f"{r['retain_speedup']:.3f}",
+                    f"{r['ganged_l3_hit']:.1%}",
+                    f"{r['retain_l3_hit']:.1%}",
+                    int(r["retain_rmw"]),
+                ]
+                for w, r in rows.items()
+            ],
+        )
+    )
+    save_results("abl_ganged_eviction", rows)
+    for workload, r in rows.items():
+        # ganged eviction never performs read-modify-write; retain must
+        assert r["ganged_rmw"] == 0, workload
+        assert r["retain_rmw"] > 0, workload
+        # and ganged eviction is never the slower choice (the design point)
+        assert r["ganged_speedup"] >= r["retain_speedup"] - 0.05, workload
+        # retaining lines keeps (or improves) LLC residency
+        assert r["retain_l3_hit"] >= r["ganged_l3_hit"] - 0.05, workload

@@ -1,0 +1,41 @@
+"""Ablation: Last Compressibility Table size (paper uses 512 entries).
+
+Accuracy saturates once the LCT covers the concurrently hot pages —
+beyond that, more entries buy nothing, which is why 128 bytes suffice.
+"""
+
+from benchmarks.ablation_utils import run_custom
+from benchmarks.conftest import run_once, save_results
+from repro.analysis import banner, format_table
+from repro.core.ptmc import PTMCConfig
+
+
+def _ablation(config):
+    rows = {}
+    for entries in (16, 64, 512, 4096):
+        cfg = config.with_(ptmc=PTMCConfig(lct_entries=entries))
+        result, speedup = run_custom("soplex06", "static_ptmc", cfg)
+        rows[entries] = {
+            "llp_accuracy": result.llp_accuracy or 0.0,
+            "speedup": speedup,
+            "storage_bytes": entries * 2 / 8,
+        }
+    return rows
+
+
+def test_ablation_llp_size(benchmark, config):
+    rows = run_once(benchmark, lambda: _ablation(config))
+    print(banner("Ablation — LCT entries (LLP size)"))
+    print(
+        format_table(
+            ["entries", "LLP accuracy", "speedup", "storage"],
+            [
+                [e, f"{r['llp_accuracy']:.1%}", f"{r['speedup']:.3f}", f"{r['storage_bytes']:.0f} B"]
+                for e, r in rows.items()
+            ],
+        )
+    )
+    save_results("abl_llp_size", {str(k): v for k, v in rows.items()})
+    # accuracy is monotone-ish in size and saturates by 512 entries
+    assert rows[512]["llp_accuracy"] >= rows[16]["llp_accuracy"] - 0.02
+    assert abs(rows[4096]["llp_accuracy"] - rows[512]["llp_accuracy"]) < 0.05

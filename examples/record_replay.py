@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Record/replay and DMA: the infrastructure around the simulator.
+
+1. records a workload's access trace to a portable binary file;
+2. replays it through two different memory designs, byte-for-byte the
+   same stream, and compares the outcomes;
+3. drives a cache-coherent DMA agent against PTMC-compressed memory
+   (paper §VI-G: every access goes through the controller, so DMA and
+   multi-socket traffic are transparently supported).
+
+Usage::
+
+    python examples/record_replay.py
+"""
+
+import tempfile
+import pathlib
+
+from repro.analysis import banner, format_table
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.core.ptmc import PTMCController
+from repro.core.uncompressed import UncompressedController
+from repro.cpu.core import CoreModel
+from repro.cpu.tracefile import load_trace, record_workload
+from repro.dram.storage import PhysicalMemory
+from repro.dram.system import DRAMSystem
+from repro.sim.dma import DMAAgent
+from repro.vm.page_table import PageTable
+from repro.workloads import get_workload
+
+HIER = HierarchyConfig(num_cores=1, l1_bytes=8 * 1024, l2_bytes=32 * 1024, l3_bytes=128 * 1024)
+
+
+def replay(trace_path, controller_cls):
+    memory = PhysicalMemory(1 << 20)
+    dram = DRAMSystem()
+    controller = controller_cls(memory, dram)
+    hierarchy = CacheHierarchy(controller, HIER)
+    core = CoreModel(0, load_trace(trace_path), hierarchy, PageTable(1 << 20))
+    while core.step():
+        pass
+    return core, dram, controller, hierarchy
+
+
+def main() -> None:
+    workload = get_workload("milc06")
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = pathlib.Path(tmp) / "milc06.trc.gz"
+
+        print(banner("1. Record"))
+        count = record_workload(workload, core_id=0, num_ops=6000, path=trace_path)
+        size_kb = trace_path.stat().st_size / 1024
+        print(f"recorded {count} accesses of '{workload.name}' "
+              f"to {trace_path.name} ({size_kb:.0f} KiB compressed)")
+
+        print(banner("2. Replay through two designs"))
+        rows = []
+        for name, cls in (("uncompressed", UncompressedController), ("ptmc", PTMCController)):
+            core, dram, _, hierarchy = replay(trace_path, cls)
+            rows.append([
+                name,
+                core.time,
+                dram.stats.total_accesses,
+                f"{hierarchy.l3.hit_rate:.1%}",
+            ])
+        print(format_table(["design", "cycles", "DRAM accesses", "L3 hit rate"], rows))
+        print("identical input stream; the designs differ only in the memory system")
+
+        print(banner("3. DMA against compressed memory"))
+        core, dram, controller, hierarchy = replay(trace_path, PTMCController)
+        dma = DMAAgent(controller, hierarchy.llc_view, core_id=7)
+        page_table = core.page_table
+        start = page_table.translate(0, 0)
+        block = dma.read_block(start, 8)
+        print(f"DMA read 8 lines at physical {start:#x}: {len(block)} bytes")
+        payload = bytes(range(256)) * 2
+        dma.write_block(start, payload)
+        assert dma.read_block(start, len(payload) // 64) == payload
+        print("DMA write/read round-trip through markers+inversion: OK")
+        print(f"controller performed {dma.reads} DMA reads / {dma.writes} DMA writes "
+              f"with no special-casing — the controller intercepts every access")
+
+
+if __name__ == "__main__":
+    main()

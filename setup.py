@@ -1,0 +1,5 @@
+"""Setup shim for environments without wheel (enables legacy editable install)."""
+
+from setuptools import setup
+
+setup()

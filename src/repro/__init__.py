@@ -1,0 +1,56 @@
+"""PTMC: Practical and Transparent Memory-Compression — HPCA 2019 reproduction.
+
+A full-system reproduction of Young, Kariyappa & Qureshi's PTMC design:
+hardware main-memory compression for bandwidth on commodity (non-ECC)
+DIMMs with no OS support, built on inline-metadata markers, a line
+location predictor, and a dynamic cost/benefit compression policy.
+
+Quick start::
+
+    from repro import simulate, compare, bench_config
+
+    speedup = compare("lbm06", "dynamic_ptmc")   # vs. uncompressed memory
+    result = simulate("bfs.twitter", "static_ptmc")
+    print(result.llp_accuracy, result.l3_hit_rate)
+
+Package layout (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — PTMC and the baseline controllers
+- :mod:`repro.compression` — FPC / BDI / C-Pack / hybrid algorithms
+- :mod:`repro.dram`, :mod:`repro.cache`, :mod:`repro.cpu`, :mod:`repro.vm`
+  — the simulated machine
+- :mod:`repro.workloads` — synthetic SPEC/GAP-like trace generators
+- :mod:`repro.sim` — configs, runner, results
+- :mod:`repro.energy`, :mod:`repro.analysis` — energy model and reporting
+"""
+
+from repro.sim import (
+    DESIGNS,
+    SimConfig,
+    SimResult,
+    bench_config,
+    compare,
+    paper_config,
+    quick_config,
+    simulate,
+    suite_geomean,
+    sweep,
+    weighted_speedup,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DESIGNS",
+    "SimConfig",
+    "SimResult",
+    "bench_config",
+    "compare",
+    "paper_config",
+    "quick_config",
+    "simulate",
+    "suite_geomean",
+    "sweep",
+    "weighted_speedup",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Result formatting helpers used by the benchmark harness."""
+
+from repro.analysis.charts import hbar_chart, sorted_curve, stacked_chart
+from repro.analysis.report import banner, format_bandwidth, format_speedups, format_table
+
+__all__ = [
+    "banner",
+    "format_bandwidth",
+    "format_speedups",
+    "format_table",
+    "hbar_chart",
+    "sorted_curve",
+    "stacked_chart",
+]

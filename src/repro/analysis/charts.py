@@ -1,0 +1,112 @@
+"""Terminal-friendly charts: horizontal bars and stacked bandwidth bars.
+
+The paper's figures are bar charts; these helpers render the same data
+as unicode bars so the benchmark harness and examples can show *shape*
+at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+#: glyph per stack segment, cycled in insertion order of the categories
+_STACK_GLYPHS = "█▓▒░◆●"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A solid bar of ``value`` at ``scale`` units per ``width`` chars."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * full
+    partial_index = int(remainder * (len(_BLOCKS) - 1))
+    if partial_index > 0:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    reference: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart with optional reference line (e.g. speedup=1).
+
+    >>> print(hbar_chart({"a": 2.0, "b": 1.0}, width=8))  # doctest: +SKIP
+    """
+    if not values:
+        return "(no data)"
+    label_width = max(len(str(k)) for k in values)
+    peak = max(max(values.values()), reference or 0.0)
+    lines = []
+    for label, value in values.items():
+        bar = _bar(value, peak, width)
+        mark = ""
+        if reference is not None and peak > 0:
+            ref_pos = int(reference / peak * width)
+            bar_cells = list(bar.ljust(width))
+            if 0 <= ref_pos < width and bar_cells[ref_pos] == " ":
+                bar_cells[ref_pos] = "|"
+            bar = "".join(bar_cells).rstrip()
+        lines.append(
+            f"{str(label):<{label_width}}  {bar.ljust(width)}  " + fmt.format(value) + mark
+        )
+    return "\n".join(lines)
+
+
+def stacked_chart(
+    stacks: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    reference: float = 1.0,
+) -> str:
+    """Stacked horizontal bars (the Figs. 4/14 bandwidth plots).
+
+    Each row's segments are drawn with distinct glyphs; a legend maps
+    glyphs to category names.  ``reference`` (the uncompressed total)
+    is marked with ``|`` when it falls beyond the stack.
+    """
+    if not stacks:
+        return "(no data)"
+    categories = []
+    for row in stacks.values():
+        for key in row:
+            if key not in categories:
+                categories.append(key)
+    glyph_of: Dict[str, str] = {
+        category: _STACK_GLYPHS[i % len(_STACK_GLYPHS)]
+        for i, category in enumerate(categories)
+    }
+    peak = max(max(sum(row.values()) for row in stacks.values()), reference)
+    label_width = max(len(str(k)) for k in stacks)
+    lines = []
+    for label, row in stacks.items():
+        cells = []
+        for category in categories:
+            span = int(round(row.get(category, 0.0) / peak * width))
+            cells.append(glyph_of[category] * span)
+        bar = "".join(cells)[:width]
+        bar_cells = list(bar.ljust(width))
+        ref_pos = min(int(reference / peak * width), width - 1)
+        if bar_cells[ref_pos] == " ":
+            bar_cells[ref_pos] = "|"
+        total = sum(row.values())
+        lines.append(f"{str(label):<{label_width}}  {''.join(bar_cells)}  {total:.3f}")
+    legend = "   ".join(f"{glyph_of[c]} {c}" for c in categories)
+    lines.append(f"{'':<{label_width}}  legend: {legend}   | = baseline")
+    return "\n".join(lines)
+
+
+def sorted_curve(values: Mapping[str, float], width: int = 40, bins: int = 16) -> str:
+    """The Fig. 17 'sorted speedups' view, condensed into quantile rows."""
+    ordered = sorted(values.values())
+    if not ordered:
+        return "(no data)"
+    rows: Dict[str, float] = {}
+    for i in range(bins):
+        index = min(int(i / (bins - 1) * (len(ordered) - 1)), len(ordered) - 1)
+        rows[f"p{int(i / (bins - 1) * 100):03d}"] = ordered[index]
+    return hbar_chart(rows, width=width, reference=1.0)

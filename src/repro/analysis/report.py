@@ -1,0 +1,57 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+Every figure/table benchmark prints its rows through these helpers so the
+output reads like the paper's plots: a stacked-bandwidth table for
+Figs. 4/14, a per-workload speedup table for Figs. 5/12/15/17, and small
+key-value tables for Tables IV-VI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    rendered: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_speedups(title: str, speedups: Mapping[str, Mapping[str, float]]) -> str:
+    """Per-workload speedup matrix (Figs. 5/12/15/17 style)."""
+    designs = sorted({d for per in speedups.values() for d in per})
+    rows = [
+        [name] + [per.get(d, float("nan")) for d in designs]
+        for name, per in speedups.items()
+    ]
+    return f"{title}\n" + format_table(["workload"] + designs, rows)
+
+
+def format_bandwidth(title: str, breakdown: Mapping[str, Mapping[str, float]]) -> str:
+    """Normalised bandwidth stacks (Figs. 4/14 style)."""
+    categories = sorted({c for per in breakdown.values() for c in per})
+    rows = []
+    for name, per in breakdown.items():
+        rows.append([name] + [per.get(c, 0.0) for c in categories] + [sum(per.values())])
+    return f"{title}\n" + format_table(["workload"] + categories + ["total"], rows)
+
+
+def banner(text: str) -> str:
+    rule = "=" * max(len(text), 8)
+    return f"\n{rule}\n{text}\n{rule}"

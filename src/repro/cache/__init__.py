@@ -1,0 +1,13 @@
+"""Cache substrate: generic set-associative caches and the 3-level hierarchy."""
+
+from repro.cache.cache import Cache, CacheLine, EvictedLine
+from repro.cache.hierarchy import AccessOutcome, CacheHierarchy, HierarchyConfig
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "EvictedLine",
+    "AccessOutcome",
+    "CacheHierarchy",
+    "HierarchyConfig",
+]

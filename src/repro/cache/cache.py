@@ -1,0 +1,160 @@
+"""Set-associative write-back cache with per-line data and metadata.
+
+Used for every level of the hierarchy (L1/L2/L3) and for the baseline
+design's 32KB metadata cache.  Lines carry their actual 64-byte contents —
+the compression machinery needs real values — plus the PTMC bookkeeping
+the paper adds to the LLC tag store: a dirty bit, the 2-bit compression
+level observed when the line was filled from memory, the requesting-core
+id (for per-core Dynamic-PTMC) and a "prefetched, not yet referenced"
+bit used to credit useful bandwidth-free prefetches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.types import Level
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """One resident line: contents plus tag-store metadata."""
+
+    addr: int
+    data: bytes
+    dirty: bool = False
+    fill_level: Level = Level.UNCOMPRESSED
+    core_id: int = 0
+    prefetched: bool = False
+
+
+@dataclass(slots=True)
+class EvictedLine:
+    """A line pushed out of the cache, with the state the victim had."""
+
+    addr: int
+    data: bytes
+    dirty: bool
+    fill_level: Level
+    core_id: int
+
+
+class Cache:
+    """An LRU set-associative cache of 64-byte lines."""
+
+    def __init__(self, size_bytes: int, ways: int, line_size: int = 64, name: str = "cache") -> None:
+        if size_bytes % (ways * line_size) != 0:
+            raise ValueError("cache size must be a multiple of ways * line size")
+        self.name = name
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # Indexing -----------------------------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        return addr % self.num_sets
+
+    def _set_for(self, addr: int) -> OrderedDict:
+        return self._sets[self.set_index(addr)]
+
+    # Lookup / update ------------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line (updating LRU) or ``None`` on miss.
+
+        Statistics count a hit/miss per call; use ``probe`` for a
+        side-effect-free check.
+        """
+        cache_set = self._set_for(addr)
+        line = cache_set.get(addr)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            cache_set.move_to_end(addr)
+        return line
+
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Check residency without touching LRU state or statistics."""
+        return self._set_for(addr).get(addr)
+
+    def fill(
+        self,
+        addr: int,
+        data: bytes,
+        dirty: bool = False,
+        fill_level: Level = Level.UNCOMPRESSED,
+        core_id: int = 0,
+        prefetched: bool = False,
+    ) -> Optional[EvictedLine]:
+        """Install a line, returning the victim if one was displaced.
+
+        Filling an already-resident address updates it in place (no
+        eviction); callers use this for writes that hit.
+        """
+        cache_set = self._set_for(addr)
+        existing = cache_set.get(addr)
+        if existing is not None:
+            existing.data = data
+            existing.dirty = existing.dirty or dirty
+            cache_set.move_to_end(addr)
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(cache_set) >= self.ways:
+            _, old = cache_set.popitem(last=False)
+            victim = EvictedLine(old.addr, old.data, old.dirty, old.fill_level, old.core_id)
+        cache_set[addr] = CacheLine(
+            addr=addr,
+            data=data,
+            dirty=dirty,
+            fill_level=fill_level,
+            core_id=core_id,
+            prefetched=prefetched,
+        )
+        return victim
+
+    def evict(self, addr: int) -> Optional[EvictedLine]:
+        """Forcibly remove a specific line (ganged eviction support)."""
+        cache_set = self._set_for(addr)
+        line = cache_set.pop(addr, None)
+        if line is None:
+            return None
+        return EvictedLine(line.addr, line.data, line.dirty, line.fill_level, line.core_id)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line without writeback; returns whether it was present."""
+        return self._set_for(addr).pop(addr, None) is not None
+
+    # Iteration / statistics ----------------------------------------------
+
+    def resident(self) -> Iterator[CacheLine]:
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def drain(self, sink: Callable[[EvictedLine], None]) -> None:
+        """Evict everything through ``sink`` (end-of-simulation flush)."""
+        for cache_set in self._sets:
+            while cache_set:
+                _, line = cache_set.popitem(last=False)
+                sink(EvictedLine(line.addr, line.data, line.dirty, line.fill_level, line.core_id))

@@ -1,0 +1,156 @@
+"""Command-line interface: run experiments without writing Python.
+
+Examples::
+
+    python -m repro list                       # workloads and designs
+    python -m repro run lbm06 dynamic_ptmc     # one simulation + report
+    python -m repro compare lbm06              # all designs on one workload
+    python -m repro suite gap static_ptmc      # geomean over a suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import banner, format_table
+from repro.energy import relative_energy
+from repro.sim.config import bench_config
+from repro.sim.runner import compare, simulate
+from repro.sim.system import DESIGNS
+from repro.workloads import ALL_64, GAP, MEMORY_INTENSIVE, MIXES, SPEC06, SPEC17, get_workload
+
+SUITES = {
+    "spec06": SPEC06,
+    "spec17": SPEC17,
+    "gap": GAP,
+    "mix": MIXES,
+    "memory_intensive": MEMORY_INTENSIVE,
+    "all64": ALL_64,
+}
+
+
+def _config(args) -> "SimConfig":
+    return bench_config(
+        ops_per_core=args.ops,
+        warmup_ops=args.warmup,
+    )
+
+
+def cmd_list(args) -> int:
+    print(banner("Designs"))
+    for design in DESIGNS:
+        print(f"  {design}")
+    print(banner("Workloads"))
+    rows = []
+    for w in MEMORY_INTENSIVE:
+        if hasattr(w, "footprint_lines"):
+            rows.append([w.name, w.suite, w.footprint_lines, f"{w.write_frac:.2f}"])
+        else:  # MIX workloads compose several specs
+            members = ", ".join(sorted({s.name for s in w.specs}))
+            rows.append([w.name, w.suite, "-", members])
+    print(format_table(["name", "suite", "footprint (lines)", "write frac / members"], rows))
+    print(f"\n(+ {len(ALL_64) - len(MEMORY_INTENSIVE)} low-MPKI fillers in 'all64')")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _config(args)
+    result = simulate(args.workload, args.design, config)
+    base = simulate(args.workload, "uncompressed", config)
+    speedup = compare(args.workload, args.design, config)
+    rel = relative_energy(result, base)
+    print(banner(f"{args.workload} on {args.design}"))
+    rows = [
+        ["weighted speedup", f"{speedup:.3f}"],
+        ["cycles (max core)", result.elapsed_cycles],
+        ["DRAM accesses", result.total_dram_accesses],
+        ["L3 hit rate", f"{result.l3_hit_rate:.1%}"],
+        ["energy (norm.)", f"{rel.energy:.3f}"],
+        ["EDP (norm.)", f"{rel.edp:.3f}"],
+    ]
+    if result.llp_accuracy is not None:
+        rows.append(["LLP accuracy", f"{result.llp_accuracy:.1%}"])
+    if result.metadata_hit_rate is not None:
+        rows.append(["metadata-cache hit", f"{result.metadata_hit_rate:.1%}"])
+    for key, value in sorted(result.extras.items()):
+        rows.append([key, f"{value:.0f}" if value >= 1 else f"{value:.3f}"])
+    print(format_table(["metric", "value"], rows))
+    print("\nDRAM traffic by category:")
+    for category, count in sorted(
+        result.bandwidth_by_category().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {category.value:<20} {count}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = _config(args)
+    print(banner(f"All designs on {args.workload} (speedup vs uncompressed)"))
+    rows = []
+    for design in DESIGNS:
+        if design == "uncompressed":
+            continue
+        rows.append([design, f"{compare(args.workload, design, config):.3f}"])
+    print(format_table(["design", "speedup"], rows))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.sim.results import geometric_mean
+
+    config = _config(args)
+    workloads = SUITES[args.suite]
+    values = {}
+    for workload in workloads:
+        values[workload.name] = compare(workload, args.design, config)
+    print(banner(f"{args.design} on suite '{args.suite}'"))
+    print(
+        format_table(
+            ["workload", "speedup"],
+            [[n, f"{v:.3f}"] for n, v in values.items()],
+        )
+    )
+    print(f"\ngeomean: {geometric_mean(values.values()):.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PTMC (HPCA 2019) reproduction — simulation driver",
+    )
+    parser.add_argument("--ops", type=int, default=4000, help="measured ops per core")
+    parser.add_argument("--warmup", type=int, default=6000, help="warmup ops per core")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and designs")
+
+    run = sub.add_parser("run", help="simulate one (workload, design) pair")
+    run.add_argument("workload")
+    run.add_argument("design", choices=DESIGNS)
+
+    cmp_ = sub.add_parser("compare", help="all designs on one workload")
+    cmp_.add_argument("workload")
+
+    suite = sub.add_parser("suite", help="one design across a suite")
+    suite.add_argument("suite", choices=sorted(SUITES))
+    suite.add_argument("design", choices=DESIGNS)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "workload", None) is not None:
+        get_workload(args.workload)  # fail fast with the roster listing
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "suite": cmd_suite,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

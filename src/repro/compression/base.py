@@ -1,0 +1,56 @@
+"""Common interface for hardware cache-line compression algorithms.
+
+Every algorithm compresses a single 64-byte cache line into a
+self-describing payload (the payload alone is enough to decompress — the
+paper stores algorithm choice and algorithm metadata, e.g. BDI bases,
+inside the compressed line and charges them against its size).
+
+``compress`` returns ``None`` when the algorithm cannot beat the original
+size; callers treat that as "store uncompressed".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+LINE_SIZE = 64
+"""Cache-line size in bytes, fixed at 64 throughout the system."""
+
+
+class CompressionError(ValueError):
+    """Raised when a payload cannot be decompressed (corrupt stream)."""
+
+
+class CompressionAlgorithm(ABC):
+    """A per-line compression algorithm.
+
+    Subclasses must be stateless: the same input always yields the same
+    payload, which lets the simulator memoize results for speed.
+    """
+
+    #: Short identifier used in payload headers and statistics.
+    name: str = "base"
+
+    @abstractmethod
+    def compress(self, line: bytes) -> Optional[bytes]:
+        """Compress a 64-byte line.
+
+        Returns the payload (strictly smaller than the input) or ``None``
+        when the line is incompressible under this algorithm.
+        """
+
+    @abstractmethod
+    def decompress(self, payload: bytes) -> bytes:
+        """Invert :meth:`compress`, returning the original 64-byte line."""
+
+    def compressed_size(self, line: bytes) -> int:
+        """Size in bytes after compression (line size if incompressible)."""
+        payload = self.compress(line)
+        return LINE_SIZE if payload is None else len(payload)
+
+    @staticmethod
+    def check_line(line: bytes) -> None:
+        """Validate that ``line`` is exactly one 64-byte cache line."""
+        if len(line) != LINE_SIZE:
+            raise ValueError(f"expected {LINE_SIZE}-byte line, got {len(line)}")

@@ -1,0 +1,170 @@
+"""Base-Delta-Immediate (BDI) compression.
+
+BDI (Pekhimenko et al., PACT 2012) represents a cache line as one base
+value plus small per-element deltas.  The "immediate" part is an implicit
+second base of zero: each element stores either ``base + delta`` or
+``0 + delta``, selected by a per-element bitmask.  We implement the full
+set of encodings from the paper: all-zeros, repeated 8-byte value, and the
+six (base-size, delta-size) combinations B8D1/B8D2/B8D4/B4D1/B4D2/B2D1.
+
+Payload layout (self-describing, all sizes charged):
+``[1B encoding id][base (k bytes)][mask ((n+7)//8 bytes)][deltas (n*d bytes)]``
+where ``n = 64 / k`` elements.  Zeros/repeat encodings shrink accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.compression.base import LINE_SIZE, CompressionAlgorithm, CompressionError
+
+_ENC_ZEROS = 0
+_ENC_REPEAT = 1
+# (encoding id, base bytes, delta bytes)
+_DELTA_ENCODINGS: Tuple[Tuple[int, int, int], ...] = (
+    (2, 8, 1),
+    (3, 8, 2),
+    (4, 8, 4),
+    (5, 4, 1),
+    (6, 4, 2),
+    (7, 2, 1),
+)
+_ENC_PARAMS = {enc: (base, delta) for enc, base, delta in _DELTA_ENCODINGS}
+
+#: the same encodings ordered by resulting payload size, so a first-fit
+#: scan returns the smallest feasible encoding immediately
+_ENCODINGS_BY_SIZE: Tuple[Tuple[int, int, int], ...] = tuple(
+    sorted(
+        _DELTA_ENCODINGS,
+        key=lambda e: 1 + e[1] + (LINE_SIZE // e[1] + 7) // 8 + (LINE_SIZE // e[1]) * e[2],
+    )
+)
+
+
+@dataclass(frozen=True)
+class _DeltaPlan:
+    """A feasible base+delta encoding for one line."""
+
+    encoding: int
+    base: int
+    mask: int  # bit i set => element i uses the explicit base
+    deltas: List[int]  # signed deltas, one per element
+
+
+def _signed_fits(value: int, nbytes: int) -> bool:
+    bits = nbytes * 8
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+class BDI(CompressionAlgorithm):
+    """Base-Delta-Immediate with an implicit zero base."""
+
+    name = "bdi"
+
+    def compress(self, line: bytes) -> Optional[bytes]:
+        self.check_line(line)
+        if line == b"\x00" * LINE_SIZE:
+            return bytes([_ENC_ZEROS])
+        first8 = line[:8]
+        if line == first8 * (LINE_SIZE // 8):
+            return bytes([_ENC_REPEAT]) + first8
+
+        # elements are parsed once per base width and encodings are tried
+        # in ascending payload size, so the first feasible plan is optimal
+        elements_cache = {}
+        for encoding, base_bytes, delta_bytes in _ENCODINGS_BY_SIZE:
+            elements = elements_cache.get(base_bytes)
+            if elements is None:
+                elements = [
+                    int.from_bytes(line[i : i + base_bytes], "little")
+                    for i in range(0, LINE_SIZE, base_bytes)
+                ]
+                elements_cache[base_bytes] = elements
+            plan = self._plan_elements(elements, encoding, delta_bytes)
+            if plan is not None:
+                payload = self._encode(plan, base_bytes, delta_bytes)
+                if len(payload) < LINE_SIZE:
+                    return payload
+        return None
+
+    def decompress(self, payload: bytes) -> bytes:
+        if not payload:
+            raise CompressionError("empty BDI payload")
+        encoding = payload[0]
+        if encoding == _ENC_ZEROS:
+            return b"\x00" * LINE_SIZE
+        if encoding == _ENC_REPEAT:
+            if len(payload) != 9:
+                raise CompressionError("bad BDI repeat payload")
+            return payload[1:9] * (LINE_SIZE // 8)
+        if encoding not in _ENC_PARAMS:
+            raise CompressionError(f"unknown BDI encoding {encoding}")
+        base_bytes, delta_bytes = _ENC_PARAMS[encoding]
+        n = LINE_SIZE // base_bytes
+        mask_bytes = (n + 7) // 8
+        expected = 1 + base_bytes + mask_bytes + n * delta_bytes
+        if len(payload) != expected:
+            raise CompressionError("bad BDI payload length")
+        pos = 1
+        base = int.from_bytes(payload[pos : pos + base_bytes], "little")
+        pos += base_bytes
+        mask = int.from_bytes(payload[pos : pos + mask_bytes], "little")
+        pos += mask_bytes
+        out = bytearray()
+        modulus = 1 << (base_bytes * 8)
+        for i in range(n):
+            delta = int.from_bytes(
+                payload[pos : pos + delta_bytes], "little", signed=True
+            )
+            pos += delta_bytes
+            anchor = base if (mask >> i) & 1 else 0
+            out.extend(((anchor + delta) % modulus).to_bytes(base_bytes, "little"))
+        return bytes(out)
+
+    def _plan(
+        self, line: bytes, encoding: int, base_bytes: int, delta_bytes: int
+    ) -> Optional[_DeltaPlan]:
+        """Find base/deltas for one (k, d) configuration, or None."""
+        elements = [
+            int.from_bytes(line[i : i + base_bytes], "little")
+            for i in range(0, LINE_SIZE, base_bytes)
+        ]
+        return self._plan_elements(elements, encoding, delta_bytes)
+
+    @staticmethod
+    def _plan_elements(
+        elements: List[int], encoding: int, delta_bytes: int
+    ) -> Optional[_DeltaPlan]:
+        """Plan over pre-parsed unsigned elements (hot path)."""
+        bits = delta_bytes * 8
+        low = -(1 << (bits - 1))
+        high = 1 << (bits - 1)
+        base: Optional[int] = None
+        mask = 0
+        deltas: List[int] = []
+        for i, element in enumerate(elements):
+            if element < high:  # unsigned small => fits implicit zero base
+                deltas.append(element)
+                continue
+            if base is None:
+                base = element  # first non-immediate element anchors the base
+            delta = element - base
+            if not low <= delta < high:
+                return None
+            mask |= 1 << i
+            deltas.append(delta)
+        if base is None:
+            base = 0
+        return _DeltaPlan(encoding, base, mask, deltas)
+
+    @staticmethod
+    def _encode(plan: _DeltaPlan, base_bytes: int, delta_bytes: int) -> bytes:
+        n = LINE_SIZE // base_bytes
+        mask_bytes = (n + 7) // 8
+        out = bytearray([plan.encoding])
+        out.extend(plan.base.to_bytes(base_bytes, "little"))
+        out.extend(plan.mask.to_bytes(mask_bytes, "little"))
+        for delta in plan.deltas:
+            out.extend(delta.to_bytes(delta_bytes, "little", signed=True))
+        return bytes(out)

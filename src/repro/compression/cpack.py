@@ -1,0 +1,131 @@
+"""C-Pack: dictionary-based cache-line compression.
+
+C-Pack (Chen et al., TVLSI 2010) compresses a line one 32-bit word at a
+time against a small FIFO dictionary built from previously seen words in
+the same line.  Each word is emitted with one of six pattern codes:
+
+==========  ======  ==============================================
+pattern     code    payload
+==========  ======  ==============================================
+``zzzz``    00      word is all zeros
+``xxxx``    01      literal 32-bit word (pushed into dictionary)
+``mmmm``    10      full match, 4-bit dictionary index
+``mmxx``    1100    upper 2 bytes match, 4-bit index + 16-bit rest
+``zzzx``    1101    three zero bytes, 8-bit low byte
+``mmmx``    1110    upper 3 bytes match, 4-bit index + 8-bit rest
+==========  ======  ==============================================
+
+The paper lists dictionary compressors as drop-in alternatives for PTMC
+(§VII-A); this implementation lets benchmarks explore that claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.compression.base import LINE_SIZE, CompressionAlgorithm, CompressionError
+from repro.util.bits import BitReader, BitWriter
+
+_DICT_SIZE = 16
+_WORDS_PER_LINE = LINE_SIZE // 4
+
+
+class CPack(CompressionAlgorithm):
+    """C-Pack dictionary compression over 32-bit words."""
+
+    name = "cpack"
+
+    def compress(self, line: bytes) -> Optional[bytes]:
+        self.check_line(line)
+        words = [int.from_bytes(line[i : i + 4], "big") for i in range(0, LINE_SIZE, 4)]
+        writer = BitWriter()
+        dictionary: List[int] = []
+        for word in words:
+            if word == 0:
+                writer.write(0b00, 2)
+                continue
+            if word & 0xFFFFFF00 == 0:
+                writer.write(0b1101, 4)
+                writer.write(word & 0xFF, 8)
+                continue
+            full = self._find(dictionary, word, 4)
+            if full is not None:
+                writer.write(0b10, 2)
+                writer.write(full, 4)
+                continue
+            three = self._find(dictionary, word, 3)
+            if three is not None:
+                writer.write(0b1110, 4)
+                writer.write(three, 4)
+                writer.write(word & 0xFF, 8)
+                self._push(dictionary, word)
+                continue
+            two = self._find(dictionary, word, 2)
+            if two is not None:
+                writer.write(0b1100, 4)
+                writer.write(two, 4)
+                writer.write(word & 0xFFFF, 16)
+                self._push(dictionary, word)
+                continue
+            writer.write(0b01, 2)
+            writer.write(word, 32)
+            self._push(dictionary, word)
+        if writer.byte_length >= LINE_SIZE:
+            return None
+        return writer.to_bytes()
+
+    def decompress(self, payload: bytes) -> bytes:
+        reader = BitReader(payload)
+        words: List[int] = []
+        dictionary: List[int] = []
+        try:
+            while len(words) < _WORDS_PER_LINE:
+                if reader.read(1) == 0:
+                    if reader.read(1) == 0:
+                        words.append(0)  # zzzz
+                    else:
+                        word = reader.read(32)  # xxxx
+                        words.append(word)
+                        self._push(dictionary, word)
+                    continue
+                if reader.read(1) == 0:
+                    words.append(self._lookup(dictionary, reader.read(4)))  # mmmm
+                    continue
+                code = reader.read(2)
+                if code == 0b00:  # mmxx
+                    word = (self._lookup(dictionary, reader.read(4)) & 0xFFFF0000) | reader.read(16)
+                    words.append(word)
+                    self._push(dictionary, word)
+                elif code == 0b01:  # zzzx
+                    words.append(reader.read(8))
+                elif code == 0b10:  # mmmx
+                    word = (self._lookup(dictionary, reader.read(4)) & 0xFFFFFF00) | reader.read(8)
+                    words.append(word)
+                    self._push(dictionary, word)
+                else:
+                    raise CompressionError("bad C-Pack pattern code")
+        except EOFError as exc:
+            raise CompressionError("truncated C-Pack payload") from exc
+        return b"".join(word.to_bytes(4, "big") for word in words)
+
+    @staticmethod
+    def _find(dictionary: List[int], word: int, match_bytes: int) -> Optional[int]:
+        """Index of a dictionary entry whose top ``match_bytes`` match."""
+        shift = (4 - match_bytes) * 8
+        target = word >> shift
+        for index, entry in enumerate(dictionary):
+            if entry >> shift == target:
+                return index
+        return None
+
+    @staticmethod
+    def _push(dictionary: List[int], word: int) -> None:
+        dictionary.append(word)
+        if len(dictionary) > _DICT_SIZE:
+            dictionary.pop(0)
+
+    @staticmethod
+    def _lookup(dictionary: List[int], index: int) -> int:
+        if index >= len(dictionary):
+            raise CompressionError("C-Pack dictionary index out of range")
+        return dictionary[index]

@@ -1,0 +1,115 @@
+"""Frequent Value Compression (FVC).
+
+FVC (Yang & Gupta, MICRO 2000 lineage) exploits the skewed distribution
+of data values: a small dictionary of *frequent* 32-bit values covers a
+large fraction of all words.  Each word is encoded as either
+
+- ``1 + index``: a hit in the frequent-value dictionary, or
+- ``0 + literal``: the raw 32-bit word.
+
+Unlike C-Pack's line-local dictionary, FVC's dictionary is a property of
+the *workload* (the hardware trains it over time).  The implementation
+profiles a training sample once and then encodes lines against the fixed
+dictionary, storing the dictionary id in the payload so decompression is
+self-contained.  A default dictionary of universally frequent values
+(0, ±1, small powers of two, 0xFF.. patterns) works reasonably without
+training, mirroring how real designs bootstrap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.compression.base import LINE_SIZE, CompressionAlgorithm, CompressionError
+from repro.util.bits import BitReader, BitWriter
+
+_WORDS_PER_LINE = LINE_SIZE // 4
+
+#: values that are frequent in almost any workload's memory image
+DEFAULT_FREQUENT_VALUES: Tuple[int, ...] = (
+    0x00000000,
+    0xFFFFFFFF,
+    0x00000001,
+    0x00000002,
+    0x00000004,
+    0x00000008,
+    0x00000010,
+    0x00000100,
+    0x00010000,
+    0x01000000,
+    0xFFFFFFFE,
+    0x7FFFFFFF,
+    0x80000000,
+    0x0000FFFF,
+    0xFFFF0000,
+    0x00000003,
+)
+
+
+def train_dictionary(lines: Iterable[bytes], size: int = 16) -> Tuple[int, ...]:
+    """Profile sample lines and return the ``size`` most frequent words."""
+    counts: Counter = Counter()
+    for line in lines:
+        if len(line) != LINE_SIZE:
+            raise ValueError("training lines must be 64 bytes")
+        for i in range(0, LINE_SIZE, 4):
+            counts[int.from_bytes(line[i : i + 4], "little")] += 1
+    return tuple(value for value, _ in counts.most_common(size))
+
+
+class FVC(CompressionAlgorithm):
+    """Frequent Value Compression with a fixed (trainable) dictionary."""
+
+    name = "fvc"
+
+    def __init__(self, dictionary: Optional[Sequence[int]] = None) -> None:
+        values = tuple(dictionary) if dictionary is not None else DEFAULT_FREQUENT_VALUES
+        if not values:
+            raise ValueError("dictionary must not be empty")
+        if len(values) > 256:
+            raise ValueError("dictionary is limited to 256 entries")
+        if len(set(values)) != len(values):
+            raise ValueError("dictionary values must be unique")
+        for value in values:
+            if not 0 <= value < 2**32:
+                raise ValueError("dictionary holds 32-bit words")
+        self._values = values
+        self._index: Dict[int, int] = {v: i for i, v in enumerate(values)}
+        self._index_bits = max(1, (len(values) - 1).bit_length())
+
+    @property
+    def dictionary(self) -> Tuple[int, ...]:
+        return self._values
+
+    def compress(self, line: bytes) -> Optional[bytes]:
+        self.check_line(line)
+        writer = BitWriter()
+        for i in range(0, LINE_SIZE, 4):
+            word = int.from_bytes(line[i : i + 4], "little")
+            index = self._index.get(word)
+            if index is not None:
+                writer.write(1, 1)
+                writer.write(index, self._index_bits)
+            else:
+                writer.write(0, 1)
+                writer.write(word, 32)
+        if writer.byte_length >= LINE_SIZE:
+            return None
+        return writer.to_bytes()
+
+    def decompress(self, payload: bytes) -> bytes:
+        reader = BitReader(payload)
+        words: List[int] = []
+        try:
+            while len(words) < _WORDS_PER_LINE:
+                if reader.read(1):
+                    index = reader.read(self._index_bits)
+                    if index >= len(self._values):
+                        raise CompressionError("FVC index out of range")
+                    words.append(self._values[index])
+                else:
+                    words.append(reader.read(32))
+        except EOFError as exc:
+            raise CompressionError("truncated FVC payload") from exc
+        return b"".join(word.to_bytes(4, "little") for word in words)

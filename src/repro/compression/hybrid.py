@@ -1,0 +1,86 @@
+"""Hybrid compressor: pick the best algorithm per line.
+
+The paper's evaluation compresses each line with both FPC and BDI and
+keeps whichever is smaller (§III-A).  The chosen algorithm must be
+recorded inside the compressed line, so the payload carries a one-byte
+algorithm tag that is charged against the compressed size.
+
+``HybridCompressor`` is configurable with any set of
+:class:`~repro.compression.base.CompressionAlgorithm` instances, which is
+how the benchmarks explore PTMC's algorithm-orthogonality claim (§VII-A).
+Results are memoized by line content — the algorithms are pure functions,
+and workloads repeat data patterns heavily, so this makes the simulator
+orders of magnitude faster without changing any result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.compression.base import LINE_SIZE, CompressionAlgorithm, CompressionError
+from repro.compression.bdi import BDI
+from repro.compression.fpc import FPC
+
+#: process-wide memo pools, keyed by the algorithm-name tuple
+_SHARED_CACHES: Dict[Tuple[str, ...], Dict[bytes, Optional[bytes]]] = {}
+
+
+class HybridCompressor(CompressionAlgorithm):
+    """Try several algorithms and keep the smallest self-describing payload."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        algorithms: Optional[Iterable[CompressionAlgorithm]] = None,
+        memoize: bool = True,
+    ) -> None:
+        algs: List[CompressionAlgorithm] = (
+            list(algorithms) if algorithms is not None else [FPC(), BDI()]
+        )
+        if not algs:
+            raise ValueError("need at least one algorithm")
+        if len(algs) > 255:
+            raise ValueError("at most 255 algorithms (one-byte tag)")
+        self._algorithms: Tuple[CompressionAlgorithm, ...] = tuple(algs)
+        self._memoize = memoize
+        # results are shared across instances with the same algorithm list:
+        # simulations run several designs over identical workload data, and
+        # compression is a pure function of (algorithms, line)
+        key = tuple(a.name for a in self._algorithms)
+        self._cache: Dict[bytes, Optional[bytes]] = _SHARED_CACHES.setdefault(key, {})
+
+    @property
+    def algorithms(self) -> Tuple[CompressionAlgorithm, ...]:
+        """The candidate algorithms, in tag order."""
+        return self._algorithms
+
+    def compress(self, line: bytes) -> Optional[bytes]:
+        self.check_line(line)
+        if self._memoize:
+            cached = self._cache.get(line)
+            if cached is not None or line in self._cache:
+                return cached
+        best: Optional[bytes] = None
+        for tag, algorithm in enumerate(self._algorithms):
+            payload = algorithm.compress(line)
+            if payload is None:
+                continue
+            tagged = bytes([tag]) + payload
+            if len(tagged) < LINE_SIZE and (best is None or len(tagged) < len(best)):
+                best = tagged
+        if self._memoize:
+            self._cache[bytes(line)] = best
+        return best
+
+    def decompress(self, payload: bytes) -> bytes:
+        if not payload:
+            raise CompressionError("empty hybrid payload")
+        tag = payload[0]
+        if tag >= len(self._algorithms):
+            raise CompressionError(f"unknown algorithm tag {tag}")
+        return self._algorithms[tag].decompress(payload[1:])
+
+    def clear_cache(self) -> None:
+        """Drop memoized results (useful to bound memory in long sweeps)."""
+        self._cache.clear()

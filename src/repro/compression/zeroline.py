@@ -1,0 +1,33 @@
+"""Trivial zero-line compression (a degenerate but useful algorithm).
+
+Many real workloads have a large fraction of all-zero cache lines (freshly
+allocated pages, sparse matrices).  This algorithm compresses exactly those
+lines to a single byte and rejects everything else.  It exists mainly as a
+cheap first stage for the hybrid compressor and as a simple reference
+implementation in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compression.base import LINE_SIZE, CompressionAlgorithm, CompressionError
+
+_ZERO_LINE = b"\x00" * LINE_SIZE
+
+
+class ZeroLine(CompressionAlgorithm):
+    """Compress all-zero lines to one byte; reject everything else."""
+
+    name = "zero"
+
+    def compress(self, line: bytes) -> Optional[bytes]:
+        self.check_line(line)
+        if line == _ZERO_LINE:
+            return b"\x00"
+        return None
+
+    def decompress(self, payload: bytes) -> bytes:
+        if payload != b"\x00":
+            raise CompressionError("bad zero-line payload")
+        return _ZERO_LINE

@@ -1,0 +1,123 @@
+"""Line Inversion Table (paper §IV-C, Fig. 11).
+
+The LIT records the physical slots whose uncompressed data collided with
+a marker value and was therefore stored bit-inverted.  The on-chip table
+holds 16 entries (valid bit + 30-bit line address = 64 bytes total) —
+enough because concurrent collisions are astronomically rare with keyed
+per-line markers.
+
+Two overflow-handling options from the paper are modelled:
+
+- ``LITPolicy.REKEY`` (Option 2): regenerate the marker key and re-encode
+  memory; the controller performs the sweep and the LIT is cleared.
+- ``LITPolicy.MEMORY_MAPPED`` (Option 1): fall back to an inversion bit
+  per line kept in memory, at the cost of one extra memory access whenever
+  a possibly-inverted line must be disambiguated and the on-chip entries
+  cannot answer.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Set
+
+
+class LITPolicy(Enum):
+    """What to do when the on-chip LIT fills up."""
+
+    REKEY = "rekey"
+    MEMORY_MAPPED = "memory_mapped"
+
+
+class LITOverflow(Exception):
+    """Raised on insertion into a full LIT under the REKEY policy.
+
+    The controller catches this and performs the rekey + re-encode sweep.
+    """
+
+
+class LineInversionTable:
+    """On-chip table of line addresses stored in inverted form."""
+
+    def __init__(self, capacity: int = 16, policy: LITPolicy = LITPolicy.REKEY) -> None:
+        if capacity < 1:
+            raise ValueError("LIT needs at least one entry")
+        self.capacity = capacity
+        self.policy = policy
+        self._entries: Set[int] = set()
+        #: memory-mapped inversion bits (Option 1 spill); conceptually these
+        #: live in DRAM — the controller charges an access when it reads them.
+        self._spilled: Set[int] = set()
+        self.overflows = 0
+        self.spill_lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, loc: int) -> bool:
+        return loc in self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, loc: int) -> bool:
+        """Record slot ``loc`` as inverted.
+
+        Returns ``True`` if the entry spilled to the memory-mapped table
+        (the caller must charge a DRAM write).  Raises :class:`LITOverflow`
+        under the REKEY policy when the table is full.
+        """
+        if loc in self._entries:
+            return False
+        if self.full:
+            self.overflows += 1
+            if self.policy is LITPolicy.REKEY:
+                raise LITOverflow(loc)
+            self._spilled.add(loc)
+            return True
+        self._entries.add(loc)
+        return False
+
+    def remove(self, loc: int) -> bool:
+        """Forget ``loc`` (its data no longer collides).
+
+        Returns ``True`` if a memory-mapped entry was touched (DRAM write).
+        """
+        self._entries.discard(loc)
+        if loc in self._spilled:
+            self._spilled.discard(loc)
+            return True
+        return False
+
+    def is_inverted(self, loc: int) -> bool:
+        """Whether slot ``loc`` currently holds inverted data.
+
+        Under ``MEMORY_MAPPED``, a miss in the on-chip entries requires
+        consulting the in-memory bitmap; the lookup is counted so the
+        controller can charge the extra access (paper: "the worst-case
+        effect would simply be twice the bandwidth consumption").
+        """
+        if loc in self._entries:
+            return True
+        if self.policy is LITPolicy.MEMORY_MAPPED:
+            self.spill_lookups += 1
+            return loc in self._spilled
+        return False
+
+    def clear(self) -> None:
+        """Drop all entries (after a rekey re-encoded every line)."""
+        self._entries.clear()
+        self._spilled.clear()
+
+    def entries(self) -> Set[int]:
+        """Snapshot of the on-chip entries (for re-encoding sweeps)."""
+        return set(self._entries)
+
+    def storage_bits(self) -> int:
+        """On-chip cost per Table III: 16 entries x 32 bits = 64 bytes.
+
+        Each entry is a valid bit plus a 30-bit line address, padded to a
+        32-bit word as the paper's 64-byte total implies.
+        """
+        return self.capacity * 32

@@ -1,0 +1,79 @@
+"""Line Location Predictor (paper §IV-B, Figs. 7, 8, 9).
+
+The LLP predicts a line's compression status — and therefore, through the
+TMC address mapping, its location — before the memory access is issued.
+It exploits the observation that lines within a page tend to have similar
+compressibility: a small direct-mapped *Last Compressibility Table* (LCT),
+indexed by a hash of the page address, remembers the last compression
+status observed for that index.  The prediction is verified for free by
+the inline marker on the retrieved line; a misprediction triggers a
+re-issue to the line's other candidate location(s) and an LCT update.
+
+512 entries x 2 bits = 128 bytes of storage (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.types import Level
+from repro.util.hashing import mix64
+
+LINES_PER_PAGE = 64
+"""4KB pages of 64-byte lines; compressibility locality is per page."""
+
+
+class LineLocationPredictor:
+    """History-based compressibility (hence location) predictor."""
+
+    def __init__(self, entries: int = 512, lines_per_page: int = LINES_PER_PAGE) -> None:
+        if entries < 1:
+            raise ValueError("LCT needs at least one entry")
+        self._entries = entries
+        self._lines_per_page = lines_per_page
+        self._lct: List[Level] = [Level.UNCOMPRESSED] * entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    @property
+    def entries(self) -> int:
+        return self._entries
+
+    def _index(self, addr: int) -> int:
+        page = addr // self._lines_per_page
+        return mix64(page) % self._entries
+
+    def predict(self, addr: int) -> Level:
+        """Predicted compression status for ``addr`` (its page's last status)."""
+        self.predictions += 1
+        return self._lct[self._index(addr)]
+
+    def update(self, addr: int, actual: Level, predicted: Optional[Level] = None) -> None:
+        """Record the observed compression status after a resolved access.
+
+        ``predicted`` (when given) updates the accuracy statistics: the
+        prediction counts as correct only if it located the line on the
+        first access.
+        """
+        if predicted is not None and predicted != actual:
+            self.mispredictions += 1
+        self._lct[self._index(addr)] = actual
+
+    def record_mispredict(self, count: int = 1) -> None:
+        """Charge mispredictions detected outside :meth:`update`."""
+        self.mispredictions += count
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of predictions that found the line in one access."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def storage_bits(self) -> int:
+        """2 bits of last-compressibility state per LCT entry (Table III)."""
+        return self._entries * 2
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,134 @@
+"""MemZip-style TMC on non-commodity memory (paper §I, §II-B).
+
+MemZip (Shafiee et al., HPCA 2014) is the prior Transparent
+Memory-Compression design the paper positions itself against.  It keeps
+every line at its home location but stores it *compressed*, streaming out
+only as many bursts as the compressed size needs — which requires
+non-commodity DIMMs (the whole line in one chip, variable burst lengths)
+and still needs a metadata table to know each line's burst count before
+issuing the read.
+
+This controller models that organisation: per-line size classes in a
+memory-mapped table with an on-chip metadata cache, and data accesses
+whose bus occupancy scales with the compressed size (in 8-byte beats).
+It gets *latency/bandwidth* benefits per access but no neighbour
+co-fetch, and it pays the same metadata traffic that motivates PTMC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cache.cache import Cache, EvictedLine
+from repro.compression.base import LINE_SIZE, CompressionAlgorithm
+from repro.compression.hybrid import HybridCompressor
+from repro.core.base_controller import DECOMPRESSION_LATENCY, LLCView, MemoryController
+from repro.types import Category, Level, ReadResult, WriteResult
+from repro.dram.storage import PhysicalMemory
+from repro.dram.system import DRAMSystem
+
+_PLACEHOLDER = b"\x00" * 64
+
+
+@dataclass(frozen=True)
+class MemZipConfig:
+    """Metadata organisation and burst quantisation."""
+
+    cache_bytes: int = 32 * 1024
+    cache_ways: int = 8
+    lines_per_metadata_slot: int = 128  # 4-bit burst count x 128 lines = 64B
+    decompression_latency: int = DECOMPRESSION_LATENCY
+
+
+class MemZipController(MemoryController):
+    """Per-line compressed storage with variable burst lengths."""
+
+    name = "memzip"
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        dram: DRAMSystem,
+        compressor: Optional[CompressionAlgorithm] = None,
+        config: MemZipConfig = MemZipConfig(),
+    ) -> None:
+        super().__init__(memory, dram)
+        self.config = config
+        self.compressor = compressor if compressor is not None else HybridCompressor()
+        #: burst count (8-byte beats, 1..8) per line; authoritative table
+        self._bursts: Dict[int, int] = {}
+        self.metadata_cache = Cache(
+            config.cache_bytes, config.cache_ways, name="memzip_metadata"
+        )
+
+    # Metadata plumbing ----------------------------------------------------
+
+    def _metadata_addr(self, line_addr: int) -> int:
+        index = line_addr // self.config.lines_per_metadata_slot
+        return self.memory.capacity_lines - 1 - index
+
+    def _touch_metadata(self, line_addr: int, now: int, dirty: bool) -> None:
+        meta_addr = self._metadata_addr(line_addr)
+        hit = self.metadata_cache.lookup(meta_addr)
+        if hit is not None:
+            hit.dirty = hit.dirty or dirty
+            return
+        self.dram.access(meta_addr, now, Category.METADATA_READ)
+        victim = self.metadata_cache.fill(meta_addr, _PLACEHOLDER, dirty=dirty)
+        if victim is not None and victim.dirty:
+            self.dram.access(victim.addr, now, Category.METADATA_WRITE)
+
+    @property
+    def metadata_hit_rate(self) -> float:
+        return self.metadata_cache.hit_rate
+
+    def _burst_count(self, addr: int) -> int:
+        return self._bursts.get(addr, 8)
+
+    # Read path ------------------------------------------------------------
+
+    def read_line(self, addr: int, now: int, core_id: int, llc: LLCView) -> ReadResult:
+        self._touch_metadata(addr, now, dirty=False)
+        bursts = self._burst_count(addr)
+        completion = self.dram.access(
+            addr, now, Category.DATA_READ, burst_bytes=bursts * 8
+        )
+        raw = self.memory.read(addr)
+        if bursts == 8:
+            data = raw
+        else:
+            # compressed slot layout: [payload length][payload][padding]
+            payload = raw[1 : 1 + raw[0]]
+            data = self.compressor.decompress(payload)
+            completion += self.config.decompression_latency
+        return ReadResult(
+            addr=addr, data=data, level=Level.UNCOMPRESSED, completion=completion
+        )
+
+    # Eviction path ----------------------------------------------------------
+
+    def handle_eviction(
+        self, evicted: EvictedLine, now: int, core_id: int, llc: LLCView
+    ) -> WriteResult:
+        if not evicted.dirty:
+            return WriteResult()  # compressed image in memory is still valid
+        payload = self.compressor.compress(evicted.data)
+        if payload is not None and len(payload) + 1 <= 56:
+            stored = bytes([len(payload)]) + payload
+            bursts = max(1, (len(stored) + 7) // 8)
+            slot = stored.ljust(LINE_SIZE, b"\x00")
+        else:
+            bursts = 8
+            slot = evicted.data
+        previous = self._burst_count(evicted.addr)
+        self._bursts[evicted.addr] = bursts
+        self.dram.access(
+            evicted.addr, now, Category.DATA_WRITE, burst_bytes=bursts * 8
+        )
+        self.memory.write(evicted.addr, slot)
+        self._touch_metadata(evicted.addr, now, dirty=bursts != previous)
+        return WriteResult(writes=1)
+
+    def storage_bits(self) -> Dict[str, int]:
+        return {"metadata_cache": self.config.cache_bytes * 8}

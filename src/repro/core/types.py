@@ -1,0 +1,22 @@
+"""Re-export of the shared enums/records (canonical home: repro.types).
+
+The definitions live in :mod:`repro.types` so that low-level substrates
+(e.g. the cache model) can use them without importing the ``repro.core``
+package, which would create an import cycle with the controllers.
+"""
+
+from repro.types import (
+    COMPRESSION_COST_CATEGORIES,
+    Category,
+    Level,
+    ReadResult,
+    WriteResult,
+)
+
+__all__ = [
+    "COMPRESSION_COST_CATEGORIES",
+    "Category",
+    "Level",
+    "ReadResult",
+    "WriteResult",
+]

@@ -1,0 +1,35 @@
+"""Baseline uncompressed memory controller.
+
+One DRAM access per demanded line, one writeback per dirty eviction —
+the reference every design in the paper is normalised against.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import EvictedLine
+from repro.core.base_controller import LLCView, MemoryController
+from repro.core.types import Category, Level, ReadResult, WriteResult
+
+
+class UncompressedController(MemoryController):
+    """Conventional memory: lines live at their home slots, always."""
+
+    name = "uncompressed"
+
+    def read_line(self, addr: int, now: int, core_id: int, llc: LLCView) -> ReadResult:
+        completion = self.dram.access(addr, now, Category.DATA_READ)
+        return ReadResult(
+            addr=addr,
+            data=self.memory.read(addr),
+            level=Level.UNCOMPRESSED,
+            completion=completion,
+        )
+
+    def handle_eviction(
+        self, evicted: EvictedLine, now: int, core_id: int, llc: LLCView
+    ) -> WriteResult:
+        if not evicted.dirty:
+            return WriteResult()
+        self.dram.access(evicted.addr, now, Category.DATA_WRITE)
+        self.memory.write(evicted.addr, evicted.data)
+        return WriteResult(writes=1)

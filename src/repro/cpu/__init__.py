@@ -1,0 +1,12 @@
+"""CPU substrate: trace format and the bounded-MLP core timing model."""
+
+from repro.cpu.core import CoreModel
+from repro.cpu.trace import TraceRecord, TraceStats, iter_with_stats, trace_from_lists
+
+__all__ = [
+    "CoreModel",
+    "TraceRecord",
+    "TraceStats",
+    "iter_with_stats",
+    "trace_from_lists",
+]

@@ -1,0 +1,117 @@
+"""Binary trace files: record once, replay anywhere.
+
+Synthetic traces are cheap to regenerate, but a stable on-disk format
+makes experiments portable (e.g. replaying the exact same access stream
+against a modified controller, or importing address traces produced by
+external tools).  The format is a gzip-compressed stream of fixed-layout
+records:
+
+====================  =======================================
+field                 encoding
+====================  =======================================
+magic (file header)   ``b"PTMCTRC1"``
+gap                   u32 little-endian
+flags                 u8 (bit 0: write)
+vline                 u64 little-endian
+write_data            64 bytes, only present when bit 0 is set
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+import struct
+from typing import Iterable, Iterator, Union
+
+from repro.cpu.trace import TraceRecord
+
+MAGIC = b"PTMCTRC1"
+_HEAD = struct.Struct("<IBQ")
+
+PathLike = Union[str, pathlib.Path]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is corrupt or has the wrong format."""
+
+
+def save_trace(records: Iterable[TraceRecord], path: PathLike) -> int:
+    """Write records to ``path``; returns the number of records saved."""
+    count = 0
+    with gzip.open(path, "wb") as handle:
+        handle.write(MAGIC)
+        for record in records:
+            flags = 1 if record.is_write else 0
+            handle.write(_HEAD.pack(record.gap, flags, record.vline))
+            if record.is_write:
+                if record.write_data is None or len(record.write_data) != 64:
+                    raise TraceFormatError("writes must carry 64 bytes of data")
+                handle.write(record.write_data)
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records back from ``path`` (lazily — traces can be large)."""
+    with gzip.open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}; not a PTMC trace file")
+        while True:
+            header = handle.read(_HEAD.size)
+            if not header:
+                return
+            if len(header) != _HEAD.size:
+                raise TraceFormatError("truncated record header")
+            gap, flags, vline = _HEAD.unpack(header)
+            write_data = None
+            if flags & 1:
+                write_data = handle.read(64)
+                if len(write_data) != 64:
+                    raise TraceFormatError("truncated write data")
+            yield TraceRecord(gap, bool(flags & 1), vline, write_data)
+
+
+def record_workload(workload, core_id: int, num_ops: int, path: PathLike) -> int:
+    """Generate and persist ``num_ops`` of a workload's trace for one core."""
+    from repro.workloads.generators import WorkloadTraceGenerator
+
+    generator = WorkloadTraceGenerator(workload, core_id)
+    return save_trace(generator.generate(num_ops), path)
+
+
+def import_address_trace(
+    lines: Iterable[str], gap: int = 4, line_bytes: int = 64
+) -> Iterator[TraceRecord]:
+    """Convert a simple text address trace into records.
+
+    Accepted line formats (hex or decimal byte addresses)::
+
+        R 0x7f001234
+        W 140737488355328
+        0x7f001234          # defaults to a read
+
+    Writes are materialised with zero data (external traces rarely carry
+    values; compressibility studies should use the synthetic workloads).
+    """
+    zero = b"\x00" * 64
+    for raw in lines:
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        parts = text.split()
+        if len(parts) == 1:
+            kind, addr_text = "R", parts[0]
+        elif len(parts) == 2:
+            kind, addr_text = parts[0].upper(), parts[1]
+        else:
+            raise TraceFormatError(f"unparseable trace line: {raw!r}")
+        if kind not in ("R", "W"):
+            raise TraceFormatError(f"unknown access type {kind!r}")
+        address = int(addr_text, 0)
+        vline = address // line_bytes
+        if kind == "W":
+            yield TraceRecord(gap, True, vline, zero)
+        else:
+            yield TraceRecord(gap, False, vline, None)

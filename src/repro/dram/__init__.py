@@ -1,0 +1,15 @@
+"""DRAM substrate: functional storage plus an access-level timing model."""
+
+from repro.dram.storage import PhysicalMemory
+from repro.dram.system import DRAMStats, DRAMSystem
+from repro.dram.timing import DDRTiming, DecodedAddress, DRAMGeometry, ns_to_cycles
+
+__all__ = [
+    "PhysicalMemory",
+    "DRAMStats",
+    "DRAMSystem",
+    "DDRTiming",
+    "DecodedAddress",
+    "DRAMGeometry",
+    "ns_to_cycles",
+]

@@ -1,0 +1,69 @@
+"""Functional backing store: the actual bytes resident in DRAM.
+
+The timing model (:mod:`repro.dram.system`) prices accesses; this class
+holds contents.  It is deliberately dumb — a sparse map from physical
+line address to 64 bytes — because *all* interpretation of those bytes
+(markers, compression, inversion) belongs to the memory controller,
+exactly as in the paper's commodity-DIMM setting: the DIMM stores and
+returns 64-byte bursts and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.compression.base import LINE_SIZE
+
+_ZERO_LINE = b"\x00" * LINE_SIZE
+
+
+class PhysicalMemory:
+    """Sparse functional model of main-memory contents.
+
+    ``initial_content`` supplies the bytes of never-written slots lazily
+    (default: zeros).  The simulator wires it to the workload's data
+    generator so that read-only data has realistic compressibility, which
+    models pages being installed in memory in uncompressed form — exactly
+    the paper's install policy for new pages.
+    """
+
+    def __init__(
+        self,
+        capacity_lines: int = 1 << 28,
+        initial_content: Optional[Callable[[int], bytes]] = None,
+    ) -> None:
+        self.capacity_lines = capacity_lines
+        self._lines: Dict[int, bytes] = {}
+        self._initial_content = initial_content
+
+    def read(self, line_addr: int) -> bytes:
+        """Return the 64 bytes at ``line_addr`` (lazily initialised)."""
+        self._check(line_addr)
+        data = self._lines.get(line_addr)
+        if data is not None:
+            return data
+        if self._initial_content is None:
+            return _ZERO_LINE
+        data = self._initial_content(line_addr)
+        if len(data) != LINE_SIZE:
+            raise ValueError("initial_content must produce 64-byte lines")
+        self._lines[line_addr] = data
+        return data
+
+    def write(self, line_addr: int, data: bytes) -> None:
+        """Store 64 bytes at ``line_addr``."""
+        self._check(line_addr)
+        if len(data) != LINE_SIZE:
+            raise ValueError(f"expected {LINE_SIZE} bytes, got {len(data)}")
+        self._lines[line_addr] = bytes(data)
+
+    def _check(self, line_addr: int) -> None:
+        if not 0 <= line_addr < self.capacity_lines:
+            raise IndexError(f"line address {line_addr} out of range")
+
+    def resident_lines(self) -> Dict[int, bytes]:
+        """Snapshot of all explicitly written slots (for rekey sweeps)."""
+        return dict(self._lines)
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,200 @@
+"""Access-level DRAM timing model (the USIMM stand-in).
+
+Every 64-byte access is priced against per-bank row-buffer state and
+per-channel data-bus occupancy, so extra accesses (metadata lookups,
+compressed writebacks, invalidates, mispredicted reads) translate into
+queueing delay for everyone sharing the channel — the mechanism behind
+all of the paper's bandwidth results.
+
+Fidelity notes (see DESIGN.md §4): requests are serviced in global
+arrival order with row-hit-aware latency (an "FR-FCFS-lite"); command-bus
+and refresh scheduling are abstracted away.  Shapes, not absolute
+latencies, are the goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.types import Category
+from repro.dram.timing import DDRTiming, DRAMGeometry
+
+
+@dataclass
+class _Bank:
+    """Row-buffer state of one DRAM bank."""
+
+    open_row: int = -1
+    ready_at: int = 0  # cycle at which the bank can accept a new command
+    activated_at: int = -(10**9)  # last activate time (tRAS enforcement)
+
+
+@dataclass
+class _Channel:
+    """One memory channel: banks, a shared data bus, and a write buffer."""
+
+    banks: List[_Bank]
+    bus_free_at: int = 0
+    write_backlog: int = 0  # buffered write bus-time not yet drained
+
+
+@dataclass
+class DRAMStats:
+    """Aggregate counters used by the bandwidth and energy analyses."""
+
+    accesses_by_category: Dict[Category, int] = field(default_factory=dict)
+    row_hits: int = 0
+    row_misses: int = 0
+    activations: int = 0
+    reads: int = 0
+    writes: int = 0
+    busy_cycles: int = 0
+    refresh_stalls: int = 0
+
+    def count(self, category: Category) -> None:
+        self.accesses_by_category[category] = (
+            self.accesses_by_category.get(category, 0) + 1
+        )
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses_by_category.values())
+
+    def category_count(self, *categories: Category) -> int:
+        return sum(self.accesses_by_category.get(c, 0) for c in categories)
+
+
+class DRAMSystem:
+    """Timing front-end for the memory channels.
+
+    ``access`` returns the cycle at which the requested 64 bytes have been
+    transferred; the caller decides what the bytes mean.  Writes return a
+    completion too, but cores never wait on them.
+    """
+
+    def __init__(
+        self,
+        timing: DDRTiming = DDRTiming(),
+        geometry: DRAMGeometry = DRAMGeometry(),
+        write_queue_entries: int = 32,
+        page_policy: str = "open",
+        refresh: bool = True,
+    ) -> None:
+        if page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+        self.timing = timing
+        self.geometry = geometry
+        self.page_policy = page_policy
+        self.refresh = refresh
+        self.stats = DRAMStats()
+        self._drain_threshold = write_queue_entries * timing.t_burst
+        self._channels = [
+            _Channel(banks=[_Bank() for _ in range(geometry.banks_per_channel)])
+            for _ in range(geometry.channels)
+        ]
+
+    def _after_refresh(self, start: int) -> int:
+        """Push ``start`` past any overlapping refresh window.
+
+        All banks of a channel refresh together once per tREFI and are
+        unavailable for tRFC — the standard all-bank refresh model.
+        """
+        if not self.refresh:
+            return start
+        t_refi, t_rfc = self.timing.t_refi, self.timing.t_rfc
+        offset = start % t_refi
+        if offset < t_rfc:
+            self.stats.refresh_stalls += 1
+            return start - offset + t_rfc
+        return start
+
+    def access(
+        self,
+        line_addr: int,
+        now: int,
+        category: Category,
+        burst_bytes: int = 64,
+    ) -> int:
+        """Perform one access; returns its data-completion cycle.
+
+        Reads are serviced against bank/bus state.  Writes are buffered
+        (real controllers prioritise reads): their bus time accumulates in
+        a per-channel backlog that drains into idle bus gaps, and a full
+        write queue forces a drain that stalls subsequent reads — so write
+        bandwidth is still fully paid, just at realistic priority.
+
+        ``burst_bytes`` supports non-commodity variable-burst DIMMs
+        (MemZip-style): bus occupancy scales with the transfer size in
+        8-byte beats; commodity accesses always move 64 bytes.
+        """
+        timing = self.timing
+        decoded = self.geometry.decode(line_addr)
+        channel = self._channels[decoded.channel]
+        bank = channel.banks[decoded.bank]
+        self.stats.count(category)
+        beats = max(1, (burst_bytes + 7) // 8)
+        t_transfer = max(1, timing.t_burst * beats // 8)
+
+        if category.is_write:
+            # row-buffer statistics still apply; timing goes to the backlog
+            if self.page_policy == "open" and bank.open_row == decoded.row:
+                self.stats.row_hits += 1
+            else:
+                self.stats.row_misses += 1
+                self.stats.activations += 1
+                if self.page_policy == "open":
+                    bank.open_row = decoded.row
+            channel.write_backlog += t_transfer
+            self.stats.writes += 1
+            self.stats.busy_cycles += t_transfer
+            return now
+
+        # drain buffered writes into any idle bus time before this read
+        if channel.write_backlog:
+            if now > channel.bus_free_at:
+                drained = min(now - channel.bus_free_at, channel.write_backlog)
+                channel.bus_free_at += drained
+                channel.write_backlog -= drained
+            if channel.write_backlog >= self._drain_threshold:
+                channel.bus_free_at = (
+                    max(channel.bus_free_at, now) + channel.write_backlog
+                )
+                channel.write_backlog = 0
+
+        start = self._after_refresh(max(now, bank.ready_at))
+        if self.page_policy == "closed":
+            # rows auto-precharge after every access: constant activate cost
+            self.stats.row_misses += 1
+            self.stats.activations += 1
+            bank.activated_at = start
+            data_ready = start + timing.t_rcd + timing.t_cas
+        elif bank.open_row == decoded.row:
+            self.stats.row_hits += 1
+            data_ready = start + timing.t_cas
+        else:
+            self.stats.row_misses += 1
+            self.stats.activations += 1
+            if bank.open_row != -1:
+                # must precharge; respect tRAS since the last activate
+                precharge_at = max(start, bank.activated_at + timing.t_ras)
+                start = precharge_at + timing.t_rp
+            bank.activated_at = start
+            bank.open_row = decoded.row
+            data_ready = start + timing.t_rcd + timing.t_cas
+
+        transfer_start = max(data_ready, channel.bus_free_at)
+        completion = transfer_start + t_transfer
+        channel.bus_free_at = completion
+        bank.ready_at = transfer_start  # next column command can pipeline in
+
+        self.stats.reads += 1
+        self.stats.busy_cycles += t_transfer
+        return completion
+
+    def channel_utilisation(self, elapsed_cycles: int) -> float:
+        """Fraction of total data-bus cycles carrying transfers."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        total_bus = elapsed_cycles * self.geometry.channels
+        return min(1.0, self.stats.busy_cycles / total_bus)

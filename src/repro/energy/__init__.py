@@ -1,0 +1,17 @@
+"""DRAM energy/power/EDP model (Fig. 18)."""
+
+from repro.energy.model import (
+    EnergyParams,
+    EnergyReport,
+    RelativeEnergy,
+    energy_of,
+    relative_energy,
+)
+
+__all__ = [
+    "EnergyParams",
+    "EnergyReport",
+    "RelativeEnergy",
+    "energy_of",
+    "relative_energy",
+]

@@ -1,0 +1,33 @@
+"""Simulation engine: configs, system wiring, runner, results."""
+
+from repro.sim.config import SamplingConfig, SimConfig, bench_config, paper_config, quick_config
+from repro.sim.results import (
+    SimResult,
+    geometric_mean,
+    normalized_bandwidth,
+    weighted_speedup,
+)
+from repro.sim.dma import DMAAgent
+from repro.sim.runner import clear_cache, compare, simulate, suite_geomean, sweep
+from repro.sim.system import DESIGNS, SimulatedSystem, build_controller
+
+__all__ = [
+    "SamplingConfig",
+    "SimConfig",
+    "bench_config",
+    "paper_config",
+    "quick_config",
+    "SimResult",
+    "DMAAgent",
+    "geometric_mean",
+    "normalized_bandwidth",
+    "weighted_speedup",
+    "clear_cache",
+    "compare",
+    "simulate",
+    "suite_geomean",
+    "sweep",
+    "DESIGNS",
+    "SimulatedSystem",
+    "build_controller",
+]

@@ -1,0 +1,74 @@
+"""DMA / multi-socket agent (paper §VI-G).
+
+The paper argues PTMC works transparently for DMA and multi-socket
+traffic because every access to a channel goes through its memory
+controller, which interprets markers and inversion on every read and
+applies the collision check on every write.  This module models such an
+agent: a device that reads and writes physical line ranges through the
+controller interface, snooping the LLC for coherence like a real
+cache-coherent DMA engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.cache import EvictedLine
+from repro.core.base_controller import LLCView, MemoryController, NullLLCView
+
+
+class DMAAgent:
+    """A cache-coherent DMA engine attached to the memory controller.
+
+    ``core_id`` identifies the agent for statistics/policy purposes; the
+    paper's point is precisely that no other special support is needed.
+    """
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        llc: Optional[LLCView] = None,
+        core_id: int = 0,
+    ) -> None:
+        self.controller = controller
+        self.llc = llc if llc is not None else NullLLCView()
+        self.core_id = core_id
+        self.reads = 0
+        self.writes = 0
+
+    def read_block(self, start_line: int, num_lines: int, now: int = 0) -> bytes:
+        """Read ``num_lines`` consecutive lines, snooping LLC copies."""
+        chunks: List[bytes] = []
+        for addr in range(start_line, start_line + num_lines):
+            cached = self.llc.probe(addr)
+            if cached is not None:
+                chunks.append(cached.data)  # dirty or clean, the LLC is newest
+            else:
+                chunks.append(self.controller.read_line(addr, now, self.core_id, self.llc).data)
+            self.reads += 1
+        return b"".join(chunks)
+
+    def write_block(self, start_line: int, data: bytes, now: int = 0) -> int:
+        """Write 64-byte-aligned data, invalidating stale cached copies.
+
+        A device write lands on a line whose current residency the
+        controller must know (it may sit inside a compressed group whose
+        other members need relocation).  Like real partial-group updates,
+        this is a read-modify-write: the controller first locates the line
+        (one read, marker-verified), then applies the update with the
+        discovered compression level.
+        """
+        if len(data) % 64:
+            raise ValueError("DMA writes are in whole 64-byte lines")
+        lines_written = 0
+        for offset in range(0, len(data), 64):
+            addr = start_line + offset // 64
+            self.llc.force_evict(addr)  # coherence: drop the cached copy
+            current = self.controller.read_line(addr, now, self.core_id, self.llc)
+            line = EvictedLine(
+                addr, data[offset : offset + 64], True, current.level, self.core_id
+            )
+            self.controller.handle_eviction(line, now, self.core_id, self.llc)
+            self.writes += 1
+            lines_written += 1
+        return lines_written

@@ -1,0 +1,95 @@
+"""Simulation results and the metrics derived from them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.types import Category
+from repro.dram.system import DRAMStats
+
+
+@dataclass
+class SimResult:
+    """Everything a finished simulation reports."""
+
+    workload: str
+    design: str
+    core_cycles: List[int]
+    core_instructions: List[int]
+    dram: DRAMStats
+    l3_hits: int = 0
+    l3_misses: int = 0
+    useful_prefetches: int = 0
+    demand_accesses: int = 0
+    llp_accuracy: Optional[float] = None
+    metadata_hit_rate: Optional[float] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed_cycles(self) -> int:
+        """Wall-clock of the whole run (slowest core)."""
+        return max(self.core_cycles) if self.core_cycles else 0
+
+    @property
+    def ipc_per_core(self) -> List[float]:
+        return [
+            instr / cycles if cycles else 0.0
+            for instr, cycles in zip(self.core_instructions, self.core_cycles)
+        ]
+
+    @property
+    def l3_hit_rate(self) -> float:
+        total = self.l3_hits + self.l3_misses
+        return self.l3_hits / total if total else 0.0
+
+    def bandwidth_by_category(self) -> Dict[Category, int]:
+        """DRAM accesses per accounting bucket (64B each)."""
+        return dict(self.dram.accesses_by_category)
+
+    @property
+    def total_dram_accesses(self) -> int:
+        return self.dram.total_accesses
+
+
+def weighted_speedup(result: SimResult, baseline: SimResult) -> float:
+    """Paper's metric: per-core IPC normalised to the baseline, averaged.
+
+    In rate mode every core runs the same trace in both systems, so this
+    reduces to the mean of per-core cycle ratios.
+    """
+    if result.core_instructions != baseline.core_instructions:
+        raise ValueError("weighted speedup requires identical per-core traces")
+    ratios = [
+        ipc / base_ipc if base_ipc else 0.0
+        for ipc, base_ipc in zip(result.ipc_per_core, baseline.ipc_per_core)
+    ]
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def normalized_bandwidth(result: SimResult, baseline: SimResult) -> Dict[str, float]:
+    """Per-category DRAM traffic normalised to baseline *total* traffic.
+
+    This is the y-axis of the paper's Figs. 4 and 14: stack heights sum to
+    (compressed traffic / uncompressed traffic).
+    """
+    denom = baseline.total_dram_accesses or 1
+    return {
+        category.value: count / denom
+        for category, count in sorted(
+            result.bandwidth_by_category().items(), key=lambda kv: kv[0].value
+        )
+    }
+
+
+def geometric_mean(values) -> float:
+    """Geomean (the paper's average for speedups)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

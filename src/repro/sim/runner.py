@@ -1,0 +1,88 @@
+"""High-level experiment runner with per-session result caching.
+
+``simulate`` runs (workload, design, config) once and memoizes the result
+so the many figure/table benchmarks that share a baseline do not re-run
+it.  ``compare`` produces the paper's headline metric: weighted speedup
+over the uncompressed baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.sim.config import SimConfig, bench_config
+from repro.sim.results import SimResult, geometric_mean, weighted_speedup
+from repro.sim.system import DESIGNS, SimulatedSystem
+from repro.workloads.suites import Workload, get_workload
+
+_cache: Dict[Tuple[str, str, SimConfig], SimResult] = {}
+
+
+def simulate(
+    workload,
+    design: str,
+    config: Optional[SimConfig] = None,
+    use_cache: bool = True,
+) -> SimResult:
+    """Run one simulation (memoized on (workload name, design, config))."""
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if config is None:
+        config = bench_config()
+    key = (workload.name, design, config)
+    if use_cache and key in _cache:
+        return _cache[key]
+    result = SimulatedSystem(workload, design, config).run()
+    if use_cache:
+        _cache[key] = result
+    return result
+
+
+def compare(
+    workload,
+    design: str,
+    config: Optional[SimConfig] = None,
+    baseline: str = "uncompressed",
+) -> float:
+    """Weighted speedup of ``design`` over ``baseline`` on one workload."""
+    result = simulate(workload, design, config)
+    base = simulate(workload, baseline, config)
+    return weighted_speedup(result, base)
+
+
+def sweep(
+    workloads: Iterable[Workload],
+    designs: Iterable[str],
+    config: Optional[SimConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Speedup matrix: {workload: {design: weighted speedup}}."""
+    matrix: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        matrix[workload.name] = {
+            design: compare(workload, design, config) for design in designs
+        }
+    return matrix
+
+
+def suite_geomean(
+    workloads: Iterable[Workload],
+    design: str,
+    config: Optional[SimConfig] = None,
+) -> float:
+    """Geometric-mean weighted speedup over a suite (paper's averages)."""
+    return geometric_mean(compare(w, design, config) for w in workloads)
+
+
+def clear_cache() -> None:
+    """Drop memoized simulation results (frees memory between sweeps)."""
+    _cache.clear()
+
+
+__all__ = [
+    "DESIGNS",
+    "simulate",
+    "compare",
+    "sweep",
+    "suite_geomean",
+    "clear_cache",
+]

@@ -1,0 +1,255 @@
+"""Wiring: workload + design + config -> a runnable simulated system."""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.core.base_controller import MemoryController
+from repro.core.ideal import IdealTMCController
+from repro.core.memzip import MemZipController
+from repro.core.metadata_table import MetadataTableController
+from repro.core.policy import AlwaysOnPolicy, CompressionPolicy, SamplingPolicy
+from repro.core.prefetch import NextLinePrefetchController
+from repro.core.ptmc import PTMCController
+from repro.core.uncompressed import UncompressedController
+from repro.cpu.core import CoreModel
+from repro.dram.storage import PhysicalMemory
+from repro.dram.system import DRAMSystem
+from repro.sim.config import SimConfig
+from repro.sim.results import SimResult
+from repro.vm.page_table import LINES_PER_PAGE, PageTable
+from repro.workloads.generators import MixWorkload, WorkloadSpec, WorkloadTraceGenerator
+
+#: Design names accepted by :func:`build_controller` and the runner.
+DESIGNS = (
+    "uncompressed",
+    "tmc_table",
+    "memzip",
+    "ideal",
+    "static_ptmc",
+    "dynamic_ptmc",
+    "prefetch",
+)
+
+
+def build_controller(
+    design: str,
+    memory: PhysicalMemory,
+    dram: DRAMSystem,
+    config: SimConfig,
+) -> Tuple[MemoryController, Optional[CompressionPolicy]]:
+    """Instantiate one of the studied designs by name."""
+    if design == "uncompressed":
+        return UncompressedController(memory, dram), None
+    if design == "tmc_table":
+        return MetadataTableController(memory, dram, config=config.metadata), None
+    if design == "memzip":
+        from repro.core.memzip import MemZipConfig
+
+        return (
+            MemZipController(
+                memory,
+                dram,
+                config=MemZipConfig(cache_bytes=config.metadata.cache_bytes),
+            ),
+            None,
+        )
+    if design == "ideal":
+        return IdealTMCController(memory, dram), None
+    if design == "static_ptmc":
+        policy = AlwaysOnPolicy()
+        return PTMCController(memory, dram, config=config.ptmc, policy=policy), policy
+    if design == "dynamic_ptmc":
+        policy = SamplingPolicy(
+            counter_bits=config.sampling.counter_bits,
+            sample_period=config.sampling.sample_period,
+            num_cores=config.num_cores,
+            per_core=config.sampling.per_core,
+            benefit_weight=config.sampling.benefit_weight,
+        )
+        return PTMCController(memory, dram, config=config.ptmc, policy=policy), policy
+    if design == "prefetch":
+        return NextLinePrefetchController(memory, dram), None
+    raise ValueError(f"unknown design {design!r}; choose from {DESIGNS}")
+
+
+class SimulatedSystem:
+    """An 8-core system running one workload on one memory design."""
+
+    def __init__(self, workload, design: str, config: SimConfig):
+        self.workload = workload
+        self.design = design
+        self.config = config
+        self.page_table = PageTable(config.capacity_lines, seed=config.seed + 99)
+        self.generators: List[WorkloadTraceGenerator] = [
+            WorkloadTraceGenerator(self._spec_for_core(core), core)
+            for core in range(config.num_cores)
+        ]
+        self.memory = PhysicalMemory(
+            config.capacity_lines, initial_content=self._initial_content
+        )
+        self.dram = DRAMSystem(
+            config.timing,
+            config.geometry,
+            page_policy=config.page_policy,
+            refresh=config.refresh,
+        )
+        self.controller, self.policy = build_controller(
+            design, self.memory, self.dram, config
+        )
+        hcfg = config.hierarchy
+        if hcfg.num_cores != config.num_cores:
+            hcfg = HierarchyConfig(
+                num_cores=config.num_cores,
+                l1_bytes=hcfg.l1_bytes,
+                l1_ways=hcfg.l1_ways,
+                l1_latency=hcfg.l1_latency,
+                l2_bytes=hcfg.l2_bytes,
+                l2_ways=hcfg.l2_ways,
+                l2_latency=hcfg.l2_latency,
+                l3_bytes=hcfg.l3_bytes,
+                l3_ways=hcfg.l3_ways,
+                l3_latency=hcfg.l3_latency,
+            )
+        self.hierarchy = CacheHierarchy(self.controller, hcfg, self.policy)
+        total_ops = config.ops_per_core + config.warmup_ops
+        self.cores = [
+            CoreModel(
+                core,
+                self.generators[core].generate(total_ops),
+                self.hierarchy,
+                self.page_table,
+                width=config.width,
+                mlp=config.mlp,
+            )
+            for core in range(config.num_cores)
+        ]
+
+    def _spec_for_core(self, core_id: int) -> WorkloadSpec:
+        if isinstance(self.workload, MixWorkload):
+            return self.workload.spec_for_core(core_id)
+        # rate mode: same benchmark on every core, distinct seeds
+        return self.workload.with_seed(self.workload.seed + core_id)
+
+    def _initial_content(self, line_addr: int) -> bytes:
+        """First-touch contents: the owning workload's version-0 data."""
+        frame, offset = divmod(line_addr, LINES_PER_PAGE)
+        try:
+            core_id, vpage = self.page_table.reverse(frame)
+        except KeyError:
+            return b"\x00" * 64  # untranslated region (metadata, spill bitmaps)
+        vline = vpage * LINES_PER_PAGE + offset
+        return self.generators[core_id].data.line(vline, 0)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Event-driven run: warmup phase, stats snapshot, measured phase."""
+        warmup = self.config.warmup_ops
+        if warmup:
+            self._run_phase(lambda core: core.mem_ops < warmup)
+        self._snapshot()
+        self._run_phase(None)
+        return self._collect()
+
+    def _run_phase(self, keep_running) -> None:
+        """Step cores in global-time order while ``keep_running`` allows."""
+        heap = [
+            (core.time, core.core_id)
+            for core in self.cores
+            if not core.done and (keep_running is None or keep_running(core))
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            core = self.cores[core_id]
+            if core.step() and (keep_running is None or keep_running(core)):
+                heapq.heappush(heap, (core.time, core_id))
+
+    def _snapshot(self) -> None:
+        """Record counters at the measurement boundary (end of warmup)."""
+        self._core_time0 = [core.time for core in self.cores]
+        self._core_instr0 = [core.instructions for core in self.cores]
+        stats = self.dram.stats
+        self._dram0 = {
+            "by_category": dict(stats.accesses_by_category),
+            "row_hits": stats.row_hits,
+            "row_misses": stats.row_misses,
+            "activations": stats.activations,
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "busy_cycles": stats.busy_cycles,
+        }
+        self._l3_hits0 = self.hierarchy.l3.hits
+        self._l3_misses0 = self.hierarchy.l3.misses
+        self._useful0 = self.hierarchy.useful_prefetches
+        self._demand0 = self.hierarchy.demand_accesses
+        controller = self.controller
+        if isinstance(controller, PTMCController):
+            controller.llp.reset_stats()
+            self._ptmc0 = (
+                controller.inversions,
+                controller.invalidate_writes,
+                controller.clean_writebacks,
+            )
+        if isinstance(controller, MetadataTableController):
+            controller.metadata_cache.reset_stats()
+
+    def _measured_dram(self) -> "DRAMStatsDelta":
+        from repro.dram.system import DRAMStats
+
+        stats = self.dram.stats
+        base = self._dram0
+        delta = DRAMStats()
+        for category, count in stats.accesses_by_category.items():
+            measured = count - base["by_category"].get(category, 0)
+            if measured:
+                delta.accesses_by_category[category] = measured
+        delta.row_hits = stats.row_hits - base["row_hits"]
+        delta.row_misses = stats.row_misses - base["row_misses"]
+        delta.activations = stats.activations - base["activations"]
+        delta.reads = stats.reads - base["reads"]
+        delta.writes = stats.writes - base["writes"]
+        delta.busy_cycles = stats.busy_cycles - base["busy_cycles"]
+        return delta
+
+    def _collect(self) -> SimResult:
+        name = self.workload.name
+        result = SimResult(
+            workload=name,
+            design=self.design,
+            core_cycles=[
+                core.time - t0 for core, t0 in zip(self.cores, self._core_time0)
+            ],
+            core_instructions=[
+                core.instructions - i0
+                for core, i0 in zip(self.cores, self._core_instr0)
+            ],
+            dram=self._measured_dram(),
+            l3_hits=self.hierarchy.l3.hits - self._l3_hits0,
+            l3_misses=self.hierarchy.l3.misses - self._l3_misses0,
+            useful_prefetches=self.hierarchy.useful_prefetches - self._useful0,
+            demand_accesses=self.hierarchy.demand_accesses - self._demand0,
+        )
+        controller = self.controller
+        if isinstance(controller, PTMCController):
+            result.llp_accuracy = controller.llp.accuracy
+            inv0, inval0, cwb0 = self._ptmc0
+            result.extras["inversions"] = controller.inversions - inv0
+            result.extras["invalidate_writes"] = controller.invalidate_writes - inval0
+            result.extras["clean_writebacks"] = controller.clean_writebacks - cwb0
+            result.extras["lit_occupancy"] = len(controller.lit)
+        if isinstance(controller, (MetadataTableController, MemZipController)):
+            result.metadata_hit_rate = controller.metadata_hit_rate
+        if isinstance(self.policy, SamplingPolicy):
+            result.extras["policy_benefits"] = self.policy.benefits
+            result.extras["policy_costs"] = self.policy.costs
+            result.extras["compression_enabled_final"] = float(
+                sum(
+                    self.policy.enabled_for(core)
+                    for core in range(self.config.num_cores)
+                )
+            ) / self.config.num_cores
+        return result

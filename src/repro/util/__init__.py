@@ -1,0 +1,6 @@
+"""Small shared utilities: bit-level streams and keyed hashing."""
+
+from repro.util.bits import BitReader, BitWriter
+from repro.util.hashing import KeyedHash, mix64
+
+__all__ = ["BitReader", "BitWriter", "KeyedHash", "mix64"]

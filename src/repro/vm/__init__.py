@@ -1,0 +1,5 @@
+"""Virtual-memory substrate: per-core page tables over a shared frame pool."""
+
+from repro.vm.page_table import LINES_PER_PAGE, PageTable
+
+__all__ = ["LINES_PER_PAGE", "PageTable"]

@@ -1,0 +1,102 @@
+"""Workload characterisation (the paper's Table II analog).
+
+The paper summarises each workload by its L3 MPKI and memory footprint.
+For the synthetic roster we measure the same quantities from a baseline
+simulation plus two properties the paper's mechanisms care about but its
+table leaves implicit: the average compressed line size and the fraction
+of adjacent pairs that co-compress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compression.base import LINE_SIZE
+from repro.compression.hybrid import HybridCompressor
+from repro.core.packing import payload_budget
+from repro.types import Level
+from repro.workloads.generators import MixWorkload, WorkloadTraceGenerator
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Measured characteristics of one workload."""
+
+    name: str
+    suite: str
+    l3_mpki: float
+    footprint_mb: float
+    mean_compressed_bytes: float
+    pair_fit_rate: float
+
+    @property
+    def memory_intensive(self) -> bool:
+        """The paper's detailed-evaluation cut: at least 5 MPKI."""
+        return self.l3_mpki >= 5.0
+
+
+def _spec_for_stats(workload):
+    """A representative per-core spec (core 0 for mixes)."""
+    if isinstance(workload, MixWorkload):
+        return workload.spec_for_core(0)
+    return workload
+
+
+def data_statistics(workload, samples: int = 512, seed_core: int = 0):
+    """(mean compressed size, pair co-compression rate) of a workload's data."""
+    spec = _spec_for_stats(workload)
+    generator = WorkloadTraceGenerator(spec, seed_core)
+    hybrid = HybridCompressor()
+    total = 0
+    fits = 0
+    pairs = 0
+    budget = payload_budget(Level.PAIR)
+    stride = max(2, (spec.footprint_lines // samples) & ~1)
+    for index in range(samples):
+        base = (index * stride) % (spec.footprint_lines - 1) & ~1
+        sizes = []
+        for offset in range(2):
+            line = generator.data.line(base + offset)
+            payload = hybrid.compress(line)
+            size = LINE_SIZE if payload is None else len(payload)
+            total += size
+            sizes.append(size)
+        pairs += 1
+        if sum(sizes) <= budget:
+            fits += 1
+    return total / (samples * 2), fits / pairs
+
+
+def footprint_mb(workload, num_cores: int = 8) -> float:
+    """Aggregate memory footprint across all cores, in megabytes."""
+    if isinstance(workload, MixWorkload):
+        lines = sum(
+            workload.spec_for_core(core).footprint_lines for core in range(num_cores)
+        )
+    else:
+        lines = workload.footprint_lines * num_cores
+    return lines * LINE_SIZE / 1e6
+
+
+def characterize(workload, config=None, baseline=None) -> WorkloadProfile:
+    """Full Table-II-style row for one workload.
+
+    ``baseline`` may pass a pre-computed uncompressed SimResult; otherwise
+    one is obtained through the (memoizing) runner.
+    """
+    from repro.sim.runner import simulate
+
+    if baseline is None:
+        baseline = simulate(workload, "uncompressed", config)
+    instructions = sum(baseline.core_instructions)
+    mpki = baseline.l3_misses / instructions * 1000 if instructions else 0.0
+    mean_size, pair_rate = data_statistics(workload)
+    return WorkloadProfile(
+        name=workload.name,
+        suite=workload.suite,
+        l3_mpki=mpki,
+        footprint_mb=footprint_mb(workload),
+        mean_compressed_bytes=mean_size,
+        pair_fit_rate=pair_rate,
+    )

@@ -1,0 +1,215 @@
+"""Synthetic memory-trace generators (the SPEC/GAP stand-ins).
+
+Each :class:`WorkloadSpec` controls the four axes the paper's mechanisms
+respond to (DESIGN.md §4):
+
+- *spatial locality* (``seq_frac`` + streaming runs) — drives the
+  usefulness of co-fetched neighbour lines and LLP accuracy;
+- *temporal reuse* (``reuse_frac`` over a hot set) — decides whether the
+  bandwidth invested in compressing lines is ever amortised;
+- *write behaviour* (``write_frac``, ``write_scramble``) — produces the
+  dirty evictions and compressibility churn that cost PTMC bandwidth;
+- *data values* (``profile``) — set the compression ratio itself.
+
+SPEC-like specs are sequential, reusing and compressible (PTMC should
+win); GAP-like specs are irregular with poor reuse and mostly random
+data (static compression should lose, Dynamic-PTMC should bail out).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, Iterator
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.data_patterns import (
+    GRAPH_LIKE,
+    SPEC_LIKE,
+    DataGenerator,
+    DataProfile,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic benchmark."""
+
+    name: str
+    suite: str  # "spec06" | "spec17" | "gap" | "mix" | "low"
+    footprint_lines: int = 1 << 16
+    seq_frac: float = 0.6
+    reuse_frac: float = 0.2
+    hot_lines: int = 2048
+    run_length: int = 24
+    jump_burst: int = 4
+    """Lines touched contiguously after a non-sequential jump (reuse or
+    random).  Real programs touch spatial neighbourhoods, not isolated
+    64-byte lines; bursts of about one compression group keep neighbour
+    lines co-resident in the LLC, which both compaction and the LLP rely
+    on.  Graph workloads set this to 1 (isolated vertex touches)."""
+    write_frac: float = 0.25
+    mean_gap: int = 6
+    profile: DataProfile = field(default_factory=lambda: SPEC_LIKE)
+    write_scramble: float = 0.05
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        return replace(self, seed=seed)
+
+    @property
+    def memory_intensive(self) -> bool:
+        return self.suite != "low"
+
+
+class WorkloadTraceGenerator:
+    """Deterministic trace generator for one core running one spec."""
+
+    def __init__(self, spec: WorkloadSpec, core_id: int) -> None:
+        self.spec = spec
+        self.core_id = core_id
+        self._rng = random.Random(spec.seed * 1_000_003 + core_id)
+        self.data = DataGenerator(
+            spec.profile,
+            seed=spec.seed * 7_919 + core_id,
+            write_scramble=spec.write_scramble,
+        )
+        self._versions: Dict[int, int] = {}
+        self._stream_pos = self._rng.randrange(spec.footprint_lines)
+        self._burst_pos = 0
+        self._burst_left = 0
+        self._hot: Deque[int] = deque(maxlen=spec.hot_lines)
+        #: reference model: the latest data value of every line ever written
+        self.reference: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------
+
+    def _next_address(self) -> int:
+        spec = self.spec
+        rng = self._rng
+        footprint = spec.footprint_lines
+        if self._burst_left > 0:
+            # finish the spatial neighbourhood opened by the last jump
+            self._burst_left -= 1
+            self._burst_pos = (self._burst_pos + 1) % footprint
+            addr = self._burst_pos
+            self._hot.append(addr)
+            return addr
+        draw = rng.random()
+        if draw < spec.seq_frac:
+            self._stream_pos = (self._stream_pos + 1) % footprint
+            if rng.random() < 1.0 / max(1, spec.run_length):
+                self._stream_pos = rng.randrange(footprint)
+            addr = self._stream_pos
+        else:
+            if draw < spec.seq_frac + spec.reuse_frac and self._hot:
+                addr = self._hot[rng.randrange(len(self._hot))]
+            else:
+                addr = rng.randrange(footprint)
+            if spec.jump_burst > 1:
+                self._burst_pos = addr
+                self._burst_left = rng.randint(0, spec.jump_burst - 1)
+        self._hot.append(addr)
+        return addr
+
+    def current_data(self, vline: int) -> bytes:
+        """The value the line holds right now (version-aware)."""
+        return self.data.line(vline, self._versions.get(vline, 0))
+
+    def generate(self, num_ops: int) -> Iterator[TraceRecord]:
+        """Yield ``num_ops`` trace records."""
+        spec = self.spec
+        rng = self._rng
+        for _ in range(num_ops):
+            gap = rng.randint(0, 2 * spec.mean_gap)
+            vline = self._next_address()
+            if rng.random() < spec.write_frac:
+                version = self._versions.get(vline, 0) + 1
+                self._versions[vline] = version
+                data = self.data.line(vline, version)
+                self.reference[vline] = data
+                yield TraceRecord(gap, True, vline, data)
+            else:
+                yield TraceRecord(gap, False, vline, None)
+
+
+def initial_line_value(generator: WorkloadTraceGenerator, vline: int) -> bytes:
+    """Version-0 contents of a line (what memory 'contains' at first touch)."""
+    return generator.data.line(vline, 0)
+
+
+def make_mix(name: str, specs, seed: int = 0) -> "MixWorkload":
+    return MixWorkload(name, list(specs), seed)
+
+
+@dataclass
+class MixWorkload:
+    """A MIX workload: a different spec on each core (paper's mix1..mix6)."""
+
+    name: str
+    specs: list
+    seed: int = 0
+    suite: str = "mix"
+
+    @property
+    def memory_intensive(self) -> bool:
+        return True
+
+    def spec_for_core(self, core_id: int) -> WorkloadSpec:
+        spec = self.specs[core_id % len(self.specs)]
+        return spec.with_seed(spec.seed + self.seed + 17 * core_id)
+
+
+# Ready-made parameter templates --------------------------------------------
+
+def spec_like(name: str, suite: str = "spec06", **overrides) -> WorkloadSpec:
+    """A compressible, spatially local, reusing workload (SPEC-flavoured)."""
+    params = dict(
+        footprint_lines=2048,
+        seq_frac=0.62,
+        reuse_frac=0.22,
+        hot_lines=512,
+        run_length=28,
+        write_frac=0.25,
+        mean_gap=6,
+        profile=SPEC_LIKE,
+        write_scramble=0.005,
+    )
+    params.update(overrides)
+    return WorkloadSpec(name=name, suite=suite, **params)
+
+
+def graph_like(name: str, **overrides) -> WorkloadSpec:
+    """An irregular, low-reuse, poorly compressible workload (GAP-flavoured)."""
+    params = dict(
+        footprint_lines=64 * 1024,
+        jump_burst=1,
+        seq_frac=0.08,
+        reuse_frac=0.15,
+        hot_lines=8 * 1024,
+        run_length=4,
+        write_frac=0.15,
+        mean_gap=5,
+        profile=GRAPH_LIKE,
+        write_scramble=0.35,
+    )
+    params.update(overrides)
+    return WorkloadSpec(name=name, suite="gap", **params)
+
+
+def low_mpki(name: str, suite: str = "low", **overrides) -> WorkloadSpec:
+    """A cache-friendly filler workload (part of the 64-workload set)."""
+    params = dict(
+        footprint_lines=1024,
+        seq_frac=0.55,
+        reuse_frac=0.35,
+        hot_lines=512,
+        run_length=32,
+        write_frac=0.2,
+        mean_gap=40,
+        profile=SPEC_LIKE,
+        write_scramble=0.02,
+    )
+    params.update(overrides)
+    return WorkloadSpec(name=name, suite=suite, **params)

@@ -1,0 +1,59 @@
+"""Shared scaffolding for memory-controller unit tests.
+
+Provides a fake LLC view with explicit contents plus helpers to build
+controllers over a small physical memory, so the PTMC read/eviction
+machinery can be exercised without the full simulator.
+"""
+
+from typing import Dict, Optional
+
+from repro.cache.cache import EvictedLine
+from repro.core.base_controller import LLCView
+from repro.core.ptmc import PTMCConfig, PTMCController
+from repro.dram.storage import PhysicalMemory
+from repro.dram.system import DRAMSystem
+from repro.types import Level
+
+
+class FakeLLC(LLCView):
+    """An LLC view backed by a plain dict of EvictedLine records."""
+
+    def __init__(self, sampled_addrs=()):
+        self.lines: Dict[int, EvictedLine] = {}
+        self.sampled = set(sampled_addrs)
+        self.force_evicted = []
+
+    def add(self, addr, data, dirty=False, fill_level=Level.UNCOMPRESSED, core_id=0):
+        self.lines[addr] = EvictedLine(addr, data, dirty, fill_level, core_id)
+
+    def probe(self, addr: int) -> Optional[EvictedLine]:
+        return self.lines.get(addr)
+
+    def force_evict(self, addr: int) -> Optional[EvictedLine]:
+        line = self.lines.pop(addr, None)
+        if line is not None:
+            self.force_evicted.append(addr)
+        return line
+
+    def is_sampled_set(self, addr: int) -> bool:
+        return (addr >> 2) in self.sampled or addr in self.sampled
+
+
+def make_ptmc(policy=None, config=None, capacity=1 << 16):
+    memory = PhysicalMemory(capacity)
+    dram = DRAMSystem()
+    controller = PTMCController(
+        memory, dram, config=config or PTMCConfig(), policy=policy
+    )
+    return controller
+
+
+def evicted(addr, data, dirty=True, fill_level=Level.UNCOMPRESSED, core_id=0):
+    return EvictedLine(addr, data, dirty, fill_level, core_id)
+
+
+def category_counts(controller):
+    return {
+        category.value: count
+        for category, count in controller.dram.stats.accesses_by_category.items()
+    }

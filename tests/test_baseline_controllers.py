@@ -1,0 +1,206 @@
+"""Unit tests for the baseline controllers (uncompressed, table-TMC, ideal, prefetch)."""
+
+import pytest
+
+from repro.core.ideal import IdealTMCController
+from repro.core.metadata_table import MetadataTableConfig, MetadataTableController
+from repro.core.prefetch import NextLinePrefetchController
+from repro.core.uncompressed import UncompressedController
+from repro.dram.storage import PhysicalMemory
+from repro.dram.system import DRAMSystem
+from repro.types import Category, Level
+from tests.controller_harness import FakeLLC, category_counts, evicted
+from tests.lineutils import quad_friendly_line, random_line, zero_line
+
+
+def build(cls, **kwargs):
+    memory = PhysicalMemory(1 << 16)
+    dram = DRAMSystem()
+    return cls(memory, dram, **kwargs)
+
+
+class TestUncompressed:
+    def test_read(self):
+        ctrl = build(UncompressedController)
+        ctrl.memory.write(5, bytes(range(64)))
+        result = ctrl.read_line(5, 0, 0, FakeLLC())
+        assert result.data == bytes(range(64))
+        assert result.accesses == 1
+
+    def test_dirty_write(self):
+        ctrl = build(UncompressedController)
+        ctrl.handle_eviction(evicted(5, b"\x01" * 64), 0, 0, FakeLLC())
+        assert ctrl.memory.read(5) == b"\x01" * 64
+        assert category_counts(ctrl)["data_write"] == 1
+
+    def test_clean_eviction_free(self):
+        ctrl = build(UncompressedController)
+        ctrl.handle_eviction(evicted(5, b"\x01" * 64, dirty=False), 0, 0, FakeLLC())
+        assert ctrl.dram.stats.total_accesses == 0
+
+
+class TestMetadataTable:
+    def _compact_quad(self, ctrl):
+        lines = [quad_friendly_line(i) for i in range(4)]
+        llc = FakeLLC()
+        for i in range(1, 4):
+            llc.add(8 + i, lines[i], dirty=True)
+        ctrl.handle_eviction(evicted(8, lines[0]), 0, 0, llc)
+        return lines
+
+    def test_read_consults_metadata(self):
+        ctrl = build(MetadataTableController)
+        ctrl.read_line(5, 0, 0, FakeLLC())
+        cats = category_counts(ctrl)
+        assert cats["metadata_read"] == 1
+        assert cats["data_read"] == 1
+
+    def test_metadata_cache_hit_avoids_traffic(self):
+        ctrl = build(MetadataTableController)
+        ctrl.read_line(5, 0, 0, FakeLLC())
+        ctrl.read_line(6, 0, 0, FakeLLC())  # same metadata line
+        assert category_counts(ctrl)["metadata_read"] == 1
+        assert ctrl.metadata_hit_rate == 0.5
+
+    def test_compaction_updates_csi_for_all_members(self):
+        ctrl = build(MetadataTableController)
+        lines = self._compact_quad(ctrl)
+        for i in range(4):
+            assert ctrl._csi_level(8 + i) is Level.QUAD
+
+    def test_compressed_read_returns_group(self):
+        ctrl = build(MetadataTableController)
+        lines = self._compact_quad(ctrl)
+        result = ctrl.read_line(10, 0, 0, FakeLLC())
+        assert result.data == lines[2]
+        assert result.level is Level.QUAD
+        assert set(result.extra_lines) == {8, 9, 11}
+
+    def test_all_lines_readable_after_compaction(self):
+        ctrl = build(MetadataTableController)
+        lines = self._compact_quad(ctrl)
+        for i, line in enumerate(lines):
+            assert ctrl.read_line(8 + i, 0, 0, FakeLLC()).data == line
+
+    def test_no_invalidates_ever(self):
+        ctrl = build(MetadataTableController)
+        self._compact_quad(ctrl)
+        assert "invalidate_write" not in category_counts(ctrl)
+
+    def test_dirty_metadata_evicted_to_memory(self):
+        config = MetadataTableConfig(cache_bytes=2 * 64, cache_ways=1)
+        ctrl = build(MetadataTableController, config=config)
+        # dirty one metadata line, then thrash the tiny cache
+        self._compact_quad(ctrl)
+        for i in range(16):
+            ctrl.read_line(i * 1024, 0, 0, FakeLLC())
+        assert category_counts(ctrl).get("metadata_write", 0) >= 1
+
+    def test_storage_is_metadata_cache(self):
+        ctrl = build(MetadataTableController)
+        assert ctrl.storage_bits()["metadata_cache"] == 32 * 1024 * 8
+
+
+class TestIdeal:
+    def test_cofetch_when_group_compressible(self):
+        ctrl = build(IdealTMCController)
+        memory = ctrl.memory
+        for i in range(4):
+            memory.write(8 + i, quad_friendly_line(i))
+        result = ctrl.read_line(9, 0, 0, FakeLLC())
+        assert result.level is Level.QUAD
+        assert set(result.extra_lines) == {8, 10, 11}
+        assert result.accesses == 1
+
+    def test_no_cofetch_for_random_data(self):
+        import random
+
+        ctrl = build(IdealTMCController)
+        rng = random.Random(9)
+        for i in range(4):
+            ctrl.memory.write(8 + i, random_line(rng))
+        result = ctrl.read_line(9, 0, 0, FakeLLC())
+        assert result.level is Level.UNCOMPRESSED
+        assert not result.extra_lines
+
+    def test_pair_cofetch(self):
+        import random
+
+        from tests.lineutils import pointer_line
+
+        ctrl = build(IdealTMCController)
+        rng = random.Random(9)
+        ctrl.memory.write(8, pointer_line(base=0x7F0011000000))
+        ctrl.memory.write(9, pointer_line(base=0x7F0022000000))
+        ctrl.memory.write(10, random_line(rng))
+        ctrl.memory.write(11, random_line(rng))
+        result = ctrl.read_line(8, 0, 0, FakeLLC())
+        assert result.level is Level.PAIR
+        assert set(result.extra_lines) == {9}
+
+    def test_combined_write_credit(self):
+        ctrl = build(IdealTMCController)
+        for i in range(4):
+            ctrl.memory.write(8 + i, quad_friendly_line(i))
+        # four dirty evictions of a quad-compressible group: 1 DRAM write
+        for i in range(4):
+            ctrl.handle_eviction(evicted(8 + i, quad_friendly_line(i)), 0, 0, FakeLLC())
+        assert category_counts(ctrl)["data_write"] == 1
+
+    def test_incompressible_writes_not_combined(self):
+        import random
+
+        ctrl = build(IdealTMCController)
+        rng = random.Random(5)
+        for i in range(4):
+            ctrl.handle_eviction(evicted(8 + i, random_line(rng)), 0, 0, FakeLLC())
+        assert category_counts(ctrl)["data_write"] == 4
+
+    def test_clean_eviction_free(self):
+        ctrl = build(IdealTMCController)
+        ctrl.handle_eviction(evicted(5, zero_line(), dirty=False), 0, 0, FakeLLC())
+        assert ctrl.dram.stats.total_accesses == 0
+
+
+class TestPrefetch:
+    def test_next_line_prefetched(self):
+        ctrl = build(NextLinePrefetchController)
+        result = ctrl.read_line(5, 0, 0, FakeLLC())
+        assert set(result.extra_lines) == {6}
+        cats = category_counts(ctrl)
+        assert cats["prefetch_read"] == 1
+        assert ctrl.prefetches_issued == 1
+
+    def test_resident_filter_suppresses_prefetch(self):
+        ctrl = build(NextLinePrefetchController)
+        ctrl.resident_filter = lambda addr: True
+        result = ctrl.read_line(5, 0, 0, FakeLLC())
+        assert not result.extra_lines
+        assert ctrl.prefetches_issued == 0
+
+    def test_prefetch_at_memory_end_skipped(self):
+        ctrl = build(NextLinePrefetchController)
+        last = ctrl.memory.capacity_lines - 1
+        result = ctrl.read_line(last, 0, 0, FakeLLC())
+        assert not result.extra_lines
+
+    def test_prefetch_costs_bandwidth(self):
+        """The key contrast with PTMC: the extra line is NOT free."""
+        ctrl = build(NextLinePrefetchController)
+        ctrl.read_line(5, 0, 0, FakeLLC())
+        assert ctrl.dram.stats.total_accesses == 2
+
+
+class TestPrefetchPageBoundary:
+    def test_prefetch_stops_at_page_boundary(self):
+        ctrl = build(NextLinePrefetchController)
+        # line 63 is the last line of its 4KB page: no prefetch of line 64,
+        # which belongs to an unrelated physical frame
+        result = ctrl.read_line(63, 0, 0, FakeLLC())
+        assert not result.extra_lines
+        assert ctrl.prefetches_issued == 0
+
+    def test_prefetch_within_page(self):
+        ctrl = build(NextLinePrefetchController)
+        result = ctrl.read_line(62, 0, 0, FakeLLC())
+        assert set(result.extra_lines) == {63}

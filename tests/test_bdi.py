@@ -1,0 +1,114 @@
+"""Tests for Base-Delta-Immediate compression."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given
+
+from repro.compression.base import CompressionError
+from repro.compression.bdi import BDI
+from tests.lineutils import any_lines, pointer_line, random_line, zero_line
+
+bdi = BDI()
+
+
+class TestBDIEncodings:
+    def test_zero_line_one_byte(self):
+        assert bdi.compress(zero_line()) == b"\x00"
+        assert bdi.decompress(b"\x00") == zero_line()
+
+    def test_repeated_value(self):
+        line = struct.pack("<Q", 0xDEADBEEFCAFEBABE) * 8
+        payload = bdi.compress(line)
+        assert len(payload) == 9
+        assert bdi.decompress(payload) == line
+
+    def test_base8_delta1(self):
+        line = pointer_line(base=0x7FFF00000000, stride=16)
+        payload = bdi.compress(line)
+        assert payload is not None
+        # B8D1: 1 + 8 + 1 + 8 = 18 bytes
+        assert len(payload) == 18
+        assert bdi.decompress(payload) == line
+
+    def test_base8_delta2(self):
+        line = pointer_line(base=0x7FFF00000000, stride=4000)
+        payload = bdi.compress(line)
+        assert payload is not None
+        assert bdi.decompress(payload) == line
+
+    def test_base8_delta4(self):
+        line = pointer_line(base=0x7FFF00000000, stride=100_000_000)
+        payload = bdi.compress(line)
+        assert payload is not None
+        assert bdi.decompress(payload) == line
+
+    def test_base4_delta1(self):
+        line = struct.pack("<16I", *[0x10000000 + i for i in range(16)])
+        payload = bdi.compress(line)
+        assert payload is not None
+        # B4D1: 1 + 4 + 2 + 16 = 23 bytes
+        assert len(payload) <= 23
+        assert bdi.decompress(payload) == line
+
+    def test_base2_delta1(self):
+        line = struct.pack("<32H", *[0x4000 + i for i in range(32)])
+        payload = bdi.compress(line)
+        assert payload is not None
+        assert bdi.decompress(payload) == line
+
+    def test_immediate_zero_base_mixed(self):
+        # Mix of small values (zero base) and clustered large values.
+        values = [5, 0x7FFF000000 + 3, 2, 0x7FFF000000 + 9] * 2
+        line = b"".join(struct.pack("<Q", v) for v in values)
+        payload = bdi.compress(line)
+        assert payload is not None
+        assert bdi.decompress(payload) == line
+
+    def test_delta_wraps_modulo(self):
+        # base + delta arithmetic must wrap within the element width
+        values = [2**64 - 1, 2**64 - 3] * 4
+        line = b"".join(struct.pack("<Q", v) for v in values)
+        payload = bdi.compress(line)
+        if payload is not None:
+            assert bdi.decompress(payload) == line
+
+    def test_incompressible_returns_none(self):
+        rng = random.Random(11)
+        assert bdi.compress(random_line(rng)) is None
+
+    def test_picks_smallest_feasible_encoding(self):
+        # All-equal small 8-byte values: repeat encoding (9B) must win
+        line = struct.pack("<Q", 77) * 8
+        assert len(bdi.compress(line)) <= 9
+
+
+class TestBDIErrors:
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            bdi.compress(b"x" * 65)
+
+    def test_empty_payload(self):
+        with pytest.raises(CompressionError):
+            bdi.decompress(b"")
+
+    def test_unknown_encoding(self):
+        with pytest.raises(CompressionError):
+            bdi.decompress(b"\xff")
+
+    def test_bad_length(self):
+        with pytest.raises(CompressionError):
+            bdi.decompress(bytes([2]) + b"\x00" * 3)
+
+    def test_bad_repeat_length(self):
+        with pytest.raises(CompressionError):
+            bdi.decompress(bytes([1]) + b"\x00" * 3)
+
+
+@given(any_lines)
+def test_bdi_roundtrip_property(line):
+    payload = bdi.compress(line)
+    if payload is not None:
+        assert len(payload) < 64
+        assert bdi.decompress(payload) == line

@@ -1,0 +1,68 @@
+"""Tests for workload characterisation (Table II machinery)."""
+
+import pytest
+
+from repro.sim.config import quick_config
+from repro.workloads import MIXES, get_workload
+from repro.workloads.characterize import (
+    WorkloadProfile,
+    characterize,
+    data_statistics,
+    footprint_mb,
+)
+
+CFG = quick_config(ops_per_core=800, warmup_ops=200)
+
+
+class TestDataStatistics:
+    def test_spec_compresses_better_than_graph(self):
+        spec_size, spec_pairs = data_statistics(get_workload("lbm06"))
+        gap_size, gap_pairs = data_statistics(get_workload("bfs.twitter"))
+        assert spec_size < gap_size
+        assert spec_pairs > gap_pairs
+
+    def test_rates_are_probabilities(self):
+        size, pairs = data_statistics(get_workload("mcf06"), samples=64)
+        assert 1 <= size <= 64
+        assert 0.0 <= pairs <= 1.0
+
+    def test_deterministic(self):
+        assert data_statistics(get_workload("lbm06")) == data_statistics(
+            get_workload("lbm06")
+        )
+
+
+class TestFootprint:
+    def test_rate_mode_scales_by_cores(self):
+        workload = get_workload("lbm06")
+        assert footprint_mb(workload, num_cores=8) == pytest.approx(
+            workload.footprint_lines * 64 * 8 / 1e6
+        )
+
+    def test_mix_sums_member_specs(self):
+        mix = MIXES[0]
+        value = footprint_mb(mix, num_cores=8)
+        assert value > 0
+        manual = sum(mix.spec_for_core(c).footprint_lines for c in range(8)) * 64 / 1e6
+        assert value == pytest.approx(manual)
+
+
+class TestCharacterize:
+    def test_profile_fields(self):
+        profile = characterize(get_workload("lbm06"), CFG)
+        assert isinstance(profile, WorkloadProfile)
+        assert profile.name == "lbm06"
+        assert profile.l3_mpki > 0
+        assert profile.footprint_mb > 0
+        assert profile.memory_intensive == (profile.l3_mpki >= 5.0)
+
+    def test_accepts_precomputed_baseline(self):
+        from repro.sim.runner import simulate
+
+        baseline = simulate("lbm06", "uncompressed", CFG)
+        profile = characterize(get_workload("lbm06"), baseline=baseline)
+        assert profile.l3_mpki > 0
+
+    def test_low_mpki_filler_not_memory_intensive(self):
+        profile = characterize(get_workload("perlbench06"), CFG)
+        assert profile.l3_mpki < 30  # cache-friendly by construction

@@ -1,0 +1,58 @@
+"""Tests for the terminal chart helpers."""
+
+from repro.analysis.charts import hbar_chart, sorted_curve, stacked_chart
+
+
+class TestHBar:
+    def test_empty(self):
+        assert hbar_chart({}) == "(no data)"
+
+    def test_bars_scale_with_values(self):
+        text = hbar_chart({"big": 4.0, "small": 1.0}, width=20)
+        big, small = text.splitlines()
+        assert big.count("█") > small.count("█")
+
+    def test_values_printed(self):
+        text = hbar_chart({"a": 1.234}, width=10)
+        assert "1.234" in text
+
+    def test_reference_marker(self):
+        text = hbar_chart({"a": 0.5, "b": 2.0}, width=20, reference=1.0)
+        assert "|" in text.splitlines()[0]  # short bar shows the reference
+
+    def test_zero_values(self):
+        text = hbar_chart({"a": 0.0})
+        assert "0.000" in text
+
+
+class TestStacked:
+    def test_empty(self):
+        assert stacked_chart({}) == "(no data)"
+
+    def test_segments_and_legend(self):
+        stacks = {"w": {"data": 0.5, "metadata": 0.3}}
+        text = stacked_chart(stacks, width=20)
+        assert "legend" in text
+        assert "data" in text and "metadata" in text
+        assert "0.800" in text
+
+    def test_total_column(self):
+        stacks = {"w": {"a": 0.25, "b": 0.25}}
+        assert "0.500" in stacked_chart(stacks, width=10)
+
+    def test_distinct_glyphs(self):
+        stacks = {"w": {"a": 0.4, "b": 0.4}}
+        row = stacked_chart(stacks, width=20).splitlines()[0]
+        glyphs = {ch for ch in row if ch in "█▓▒░◆●"}
+        assert len(glyphs) == 2
+
+
+class TestSortedCurve:
+    def test_quantiles_monotone(self):
+        values = {f"w{i}": 0.9 + i * 0.01 for i in range(30)}
+        text = sorted_curve(values, bins=5)
+        numbers = [float(line.split()[-1]) for line in text.splitlines()]
+        assert numbers == sorted(numbers)
+
+    def test_empty(self):
+        assert sorted_curve({}) == "(no data)"

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "lbm06", "dynamic_ptmc"])
+        assert args.command == "run"
+        assert args.workload == "lbm06"
+        assert args.design == "dynamic_ptmc"
+
+    def test_bad_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lbm06", "warp_drive"])
+
+    def test_ops_override(self):
+        args = build_parser().parse_args(["--ops", "123", "list"])
+        assert args.ops == 123
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic_ptmc" in out
+        assert "lbm06" in out
+        assert "mix1" in out
+
+    def test_run(self, capsys):
+        assert main(["--ops", "200", "--warmup", "100", "run", "lbm06", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+        assert "DRAM accesses" in out
+
+    def test_compare(self, capsys):
+        assert main(["--ops", "200", "--warmup", "100", "compare", "libquantum06"]) == 0
+        out = capsys.readouterr().out
+        assert "static_ptmc" in out
+
+    def test_suite(self, capsys):
+        assert main(["--ops", "150", "--warmup", "50", "suite", "spec17", "uncompressed"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean: 1.000" in out

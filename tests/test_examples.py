@@ -1,0 +1,53 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+The two simulation-heavy examples (quickstart, graph_analytics) are
+exercised end-to-end by the benchmark harness with the same APIs; here
+they are import-checked, while the fast examples run fully.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "inline_metadata_tour.py",
+    "compression_algorithms.py",
+    "record_replay.py",
+]
+
+ALL_EXAMPLES = FAST_EXAMPLES + ["quickstart.py", "graph_analytics.py"]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_compiles(name):
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module.__self__  # loader exists
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    assert '"""' in source  # every example carries usage documentation
+    assert "def main()" in source
+
+
+def test_every_example_listed_in_readme():
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for name in ALL_EXAMPLES:
+        assert name in readme or name[:-3] in readme

@@ -1,0 +1,51 @@
+"""Tests for the EXPERIMENTS.md renderer."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import PAPER_EXPECTATIONS, main, render, render_experiment
+
+
+class TestRenderExperiment:
+    def test_nested_dict_becomes_table(self):
+        text = render_experiment("fig15", {"lbm06": {"static_ptmc": 1.5, "ideal": 1.8}})
+        assert "| lbm06 |" in text
+        assert "1.500" in text
+        assert "Paper:" in text
+
+    def test_flat_dict(self):
+        text = render_experiment("tab03", {"total": 272})
+        assert "| total | 272 |" in text
+
+    def test_unknown_experiment_without_expectation(self):
+        text = render_experiment("custom_thing", {"x": 1})
+        assert "Paper:" not in text
+        assert "custom_thing" in text
+
+
+class TestRender:
+    def test_renders_all_saved_results(self, tmp_path):
+        (tmp_path / "fig15.json").write_text(json.dumps({"w": {"d": 1.0}}))
+        (tmp_path / "extra.json").write_text(json.dumps({"k": 2}))
+        text = render(tmp_path)
+        assert "## fig15" in text
+        assert "## extra" in text
+        assert text.index("## fig15") < text.index("## extra")
+
+    def test_every_expectation_has_prose(self):
+        for experiment_id, prose in PAPER_EXPECTATIONS.items():
+            assert len(prose) > 20, experiment_id
+
+
+class TestMain:
+    def test_writes_output(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "tab03.json").write_text(json.dumps({"total": 272}))
+        out = tmp_path / "EXPERIMENTS.md"
+        assert main([str(results), str(out)]) == 0
+        assert "tab03" in out.read_text()
+
+    def test_missing_dir_fails(self, tmp_path):
+        assert main([str(tmp_path / "nope"), str(tmp_path / "out.md")]) == 1

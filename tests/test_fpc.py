@@ -1,0 +1,112 @@
+"""Tests for Frequent Pattern Compression."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given
+
+from repro.compression.base import CompressionError
+from repro.compression.fpc import FPC
+from tests.lineutils import (
+    any_lines,
+    random_line,
+    small_int_line,
+    zero_line,
+)
+
+fpc = FPC()
+
+
+class TestFPCPatterns:
+    def test_zero_line_compresses_tiny(self):
+        payload = fpc.compress(zero_line())
+        assert payload is not None
+        assert len(payload) <= 2  # two zero-run tokens of 6 bits each
+
+    def test_zero_line_roundtrip(self):
+        assert fpc.decompress(fpc.compress(zero_line())) == zero_line()
+
+    def test_small_ints_compress(self):
+        line = small_int_line(start=-8, step=1)
+        payload = fpc.compress(line)
+        assert payload is not None
+        assert len(payload) < 32
+        assert fpc.decompress(payload) == line
+
+    def test_4bit_pattern(self):
+        line = struct.pack("<16i", *([7, -8] * 8))
+        payload = fpc.compress(line)
+        assert len(payload) <= (16 * 7 + 7) // 8
+        assert fpc.decompress(payload) == line
+
+    def test_8bit_pattern(self):
+        line = struct.pack("<16i", *([100, -100] * 8))
+        assert fpc.decompress(fpc.compress(line)) == line
+
+    def test_16bit_pattern(self):
+        line = struct.pack("<16i", *([30000, -30000] * 8))
+        assert fpc.decompress(fpc.compress(line)) == line
+
+    def test_half_padded_pattern(self):
+        line = struct.pack("<16I", *([0xABCD0000] * 16))
+        payload = fpc.compress(line)
+        assert payload is not None
+        assert fpc.decompress(payload) == line
+
+    def test_two_half_bytes_pattern(self):
+        # each halfword is a sign-extended byte: 0x00120034
+        line = struct.pack("<16I", *([0x00120034] * 16))
+        payload = fpc.compress(line)
+        assert payload is not None
+        assert fpc.decompress(payload) == line
+
+    def test_repeated_bytes_pattern(self):
+        line = struct.pack("<16I", *([0x5A5A5A5A] * 16))
+        payload = fpc.compress(line)
+        assert len(payload) <= (16 * 11 + 7) // 8
+        assert fpc.decompress(payload) == line
+
+    def test_incompressible_line_returns_none(self):
+        rng = random.Random(7)
+        line = random_line(rng)
+        # Random data costs 35 bits/word => 70 bytes > 64, so None.
+        assert fpc.compress(line) is None
+
+    def test_mixed_compressible_and_literal_words(self):
+        rng = random.Random(3)
+        words = [0, 1, rng.getrandbits(32) | 0x01000000, 0xFFFFFFFF] * 4
+        line = struct.pack("<16I", *words)
+        payload = fpc.compress(line)
+        if payload is not None:
+            assert fpc.decompress(payload) == line
+
+    def test_zero_run_capped_at_8(self):
+        # 15 zeros + one literal — needs two run tokens.
+        words = [0] * 15 + [0x12345678]
+        line = struct.pack("<16I", *words)
+        assert fpc.decompress(fpc.compress(line)) == line
+
+
+class TestFPCErrors:
+    def test_wrong_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            fpc.compress(b"\x00" * 63)
+
+    def test_truncated_payload_raises(self):
+        payload = fpc.compress(small_int_line())
+        with pytest.raises(CompressionError):
+            fpc.decompress(payload[:1])
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(CompressionError):
+            fpc.decompress(b"")
+
+
+@given(any_lines)
+def test_fpc_roundtrip_property(line):
+    """Whenever FPC claims compressibility, decompression is exact."""
+    payload = fpc.compress(line)
+    if payload is not None:
+        assert len(payload) < 64
+        assert fpc.decompress(payload) == line

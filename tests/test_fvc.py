@@ -1,0 +1,105 @@
+"""Tests for Frequent Value Compression."""
+
+import struct
+
+import pytest
+from hypothesis import given
+
+from repro.compression.base import CompressionError
+from repro.compression.fvc import DEFAULT_FREQUENT_VALUES, FVC, train_dictionary
+from tests.lineutils import any_lines, zero_line
+
+fvc = FVC()
+
+
+class TestDefaultDictionary:
+    def test_zero_line_compresses_hard(self):
+        payload = fvc.compress(zero_line())
+        assert payload is not None
+        assert len(payload) <= 10  # 16 x 5 bits = 80 bits
+        assert fvc.decompress(payload) == zero_line()
+
+    def test_frequent_values_hit(self):
+        line = struct.pack("<16I", *([0xFFFFFFFF, 1, 0, 0x80000000] * 4))
+        payload = fvc.compress(line)
+        assert payload is not None
+        assert len(payload) <= 10
+        assert fvc.decompress(payload) == line
+
+    def test_infrequent_values_literal(self):
+        line = struct.pack("<16I", *[0xDEAD0000 + i * 7919 for i in range(16)])
+        payload = fvc.compress(line)
+        # all literals: 16 x 33 bits = 66 bytes > 64 => incompressible
+        assert payload is None
+
+    def test_mixed_line_roundtrip(self):
+        line = struct.pack("<16I", *([0, 0xCAFEBABE] * 8))
+        payload = fvc.compress(line)
+        assert payload is not None
+        assert fvc.decompress(payload) == line
+
+
+class TestTraining:
+    def test_trained_dictionary_covers_sample(self):
+        lines = [struct.pack("<16I", *([0x12345678] * 16))] * 4
+        dictionary = train_dictionary(lines, size=4)
+        assert dictionary[0] == 0x12345678
+
+    def test_trained_fvc_beats_default_on_its_data(self):
+        word = 0x0BADF00D
+        line = struct.pack("<16I", *([word] * 16))
+        trained = FVC(train_dictionary([line]))
+        default = FVC()
+        assert trained.compressed_size(line) < default.compressed_size(line)
+
+    def test_training_validates_line_size(self):
+        with pytest.raises(ValueError):
+            train_dictionary([b"short"])
+
+
+class TestValidation:
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            FVC([])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            FVC([1, 1])
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            FVC([2**32])
+
+    def test_oversized_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            FVC(list(range(257)))
+
+    def test_truncated_payload(self):
+        payload = fvc.compress(zero_line())
+        with pytest.raises(CompressionError):
+            fvc.decompress(payload[:1])
+
+    def test_index_width_scales_with_dictionary(self):
+        small = FVC([0])
+        line = zero_line()
+        # 1 entry => 1-bit indices: 16 x 2 bits = 4 bytes
+        assert len(small.compress(line)) == 4
+
+
+class TestHybridIntegration:
+    def test_fvc_in_hybrid(self):
+        from repro.compression import HybridCompressor
+
+        hybrid = HybridCompressor([FVC(), *HybridCompressor().algorithms])
+        line = struct.pack("<16I", *([0xFFFFFFFF] * 16))
+        payload = hybrid.compress(line)
+        assert payload is not None
+        assert hybrid.decompress(payload) == line
+
+
+@given(any_lines)
+def test_fvc_roundtrip_property(line):
+    payload = fvc.compress(line)
+    if payload is not None:
+        assert len(payload) < 64
+        assert fvc.decompress(payload) == line

@@ -1,0 +1,109 @@
+"""Tests for the hybrid (best-of-N) compressor."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given
+
+from repro.compression import BDI, CPack, FPC, HybridCompressor, ZeroLine
+from repro.compression.base import CompressionError
+from tests.lineutils import any_lines, pointer_line, random_line, small_int_line, zero_line
+
+
+@pytest.fixture
+def hybrid():
+    return HybridCompressor()
+
+
+class TestHybrid:
+    def test_default_is_fpc_plus_bdi(self, hybrid):
+        assert [a.name for a in hybrid.algorithms] == ["fpc", "bdi"]
+
+    def test_zero_line(self, hybrid):
+        payload = hybrid.compress(zero_line())
+        assert payload is not None
+        assert hybrid.decompress(payload) == zero_line()
+
+    def test_picks_smaller_algorithm(self, hybrid):
+        line = pointer_line()  # BDI-friendly, FPC-hostile
+        payload = hybrid.compress(line)
+        assert payload is not None
+        assert payload[0] == 1  # BDI tag
+        assert hybrid.decompress(payload) == line
+
+    def test_fpc_wins_on_small_ints(self, hybrid):
+        line = small_int_line(start=0, step=1)
+        payload = hybrid.compress(line)
+        fpc_size = len(FPC().compress(line)) + 1
+        assert len(payload) <= fpc_size
+
+    def test_tag_charged_against_size(self, hybrid):
+        line = small_int_line()
+        raw = FPC().compress(line)
+        payload = hybrid.compress(line)
+        assert len(payload) <= len(raw) + 1
+
+    def test_incompressible_returns_none(self, hybrid):
+        rng = random.Random(21)
+        assert hybrid.compress(random_line(rng)) is None
+
+    def test_memoization_returns_same_result(self, hybrid):
+        line = small_int_line()
+        assert hybrid.compress(line) == hybrid.compress(line)
+
+    def test_memoization_of_incompressible(self, hybrid):
+        rng = random.Random(21)
+        line = random_line(rng)
+        assert hybrid.compress(line) is None
+        assert hybrid.compress(line) is None  # served from cache
+
+    def test_clear_cache(self, hybrid):
+        hybrid.compress(zero_line())
+        hybrid.clear_cache()
+        assert hybrid.compress(zero_line()) is not None
+
+    def test_custom_algorithm_set(self):
+        h = HybridCompressor([ZeroLine(), CPack()])
+        assert h.compress(zero_line())[0] == 0
+        line = struct.pack(">16I", *([0xCAFEBABE] * 16))
+        payload = h.compress(line)
+        assert payload[0] == 1
+        assert h.decompress(payload) == line
+
+    def test_empty_algorithm_set_rejected(self):
+        with pytest.raises(ValueError):
+            HybridCompressor([])
+
+    def test_decompress_unknown_tag(self, hybrid):
+        with pytest.raises(CompressionError):
+            hybrid.decompress(b"\x09\x00")
+
+    def test_decompress_empty(self, hybrid):
+        with pytest.raises(CompressionError):
+            hybrid.decompress(b"")
+
+    def test_compressed_size_helper(self, hybrid):
+        rng = random.Random(21)
+        assert hybrid.compressed_size(random_line(rng)) == 64
+        assert hybrid.compressed_size(zero_line()) < 8
+
+
+@given(any_lines)
+def test_hybrid_roundtrip_property(line):
+    hybrid = HybridCompressor(memoize=False)
+    payload = hybrid.compress(line)
+    if payload is not None:
+        assert len(payload) < 64
+        assert hybrid.decompress(payload) == line
+
+
+@given(any_lines)
+def test_hybrid_never_worse_than_components(line):
+    hybrid = HybridCompressor(memoize=False)
+    payload = hybrid.compress(line)
+    for algorithm in (FPC(), BDI()):
+        component = algorithm.compress(line)
+        if component is not None and len(component) + 1 < 64:
+            assert payload is not None
+            assert len(payload) <= len(component) + 1

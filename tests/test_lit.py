@@ -1,0 +1,109 @@
+"""Tests for the Line Inversion Table."""
+
+import pytest
+
+from repro.core.lit import LineInversionTable, LITOverflow, LITPolicy
+
+
+class TestBasics:
+    def test_empty(self):
+        lit = LineInversionTable()
+        assert len(lit) == 0
+        assert not lit.full
+        assert not lit.is_inverted(5)
+
+    def test_insert_and_lookup(self):
+        lit = LineInversionTable()
+        lit.insert(42)
+        assert 42 in lit
+        assert lit.is_inverted(42)
+        assert len(lit) == 1
+
+    def test_duplicate_insert_is_noop(self):
+        lit = LineInversionTable()
+        lit.insert(42)
+        assert lit.insert(42) is False
+        assert len(lit) == 1
+
+    def test_remove(self):
+        lit = LineInversionTable()
+        lit.insert(42)
+        lit.remove(42)
+        assert 42 not in lit
+        assert not lit.is_inverted(42)
+
+    def test_remove_absent_is_noop(self):
+        lit = LineInversionTable()
+        assert lit.remove(7) is False
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LineInversionTable(capacity=0)
+
+    def test_entries_snapshot(self):
+        lit = LineInversionTable()
+        lit.insert(1)
+        lit.insert(2)
+        assert lit.entries() == {1, 2}
+
+    def test_clear(self):
+        lit = LineInversionTable()
+        lit.insert(1)
+        lit.clear()
+        assert len(lit) == 0
+
+
+class TestRekeyPolicy:
+    def test_overflow_raises(self):
+        lit = LineInversionTable(capacity=2, policy=LITPolicy.REKEY)
+        lit.insert(1)
+        lit.insert(2)
+        assert lit.full
+        with pytest.raises(LITOverflow):
+            lit.insert(3)
+        assert lit.overflows == 1
+
+    def test_after_clear_insert_succeeds(self):
+        lit = LineInversionTable(capacity=1, policy=LITPolicy.REKEY)
+        lit.insert(1)
+        with pytest.raises(LITOverflow):
+            lit.insert(2)
+        lit.clear()
+        assert lit.insert(2) is False  # fits on-chip now
+
+
+class TestMemoryMappedPolicy:
+    def test_overflow_spills(self):
+        lit = LineInversionTable(capacity=1, policy=LITPolicy.MEMORY_MAPPED)
+        lit.insert(1)
+        spilled = lit.insert(2)
+        assert spilled is True
+        assert lit.overflows == 1
+
+    def test_spilled_lookup_counts_memory_access(self):
+        lit = LineInversionTable(capacity=1, policy=LITPolicy.MEMORY_MAPPED)
+        lit.insert(1)
+        lit.insert(2)
+        before = lit.spill_lookups
+        assert lit.is_inverted(2)
+        assert lit.spill_lookups == before + 1
+
+    def test_onchip_hit_does_not_touch_spill(self):
+        lit = LineInversionTable(capacity=1, policy=LITPolicy.MEMORY_MAPPED)
+        lit.insert(1)
+        before = lit.spill_lookups
+        assert lit.is_inverted(1)
+        assert lit.spill_lookups == before
+
+    def test_remove_spilled_reports_memory_write(self):
+        lit = LineInversionTable(capacity=1, policy=LITPolicy.MEMORY_MAPPED)
+        lit.insert(1)
+        lit.insert(2)
+        assert lit.remove(2) is True
+        assert lit.remove(1) is False  # on-chip entry, no memory touch
+
+
+class TestStorage:
+    def test_paper_cost(self):
+        # Table III: 16 entries = 64 bytes
+        assert LineInversionTable(capacity=16).storage_bits() == 64 * 8

@@ -1,0 +1,98 @@
+"""Tests for the Line Location Predictor."""
+
+import pytest
+
+from repro.core.llp import LINES_PER_PAGE, LineLocationPredictor
+from repro.types import Level
+
+
+class TestPrediction:
+    def test_initial_prediction_uncompressed(self):
+        llp = LineLocationPredictor()
+        assert llp.predict(1234) is Level.UNCOMPRESSED
+
+    def test_learns_last_status(self):
+        llp = LineLocationPredictor()
+        llp.update(100, Level.QUAD)
+        assert llp.predict(100) is Level.QUAD
+
+    def test_page_granularity(self):
+        llp = LineLocationPredictor()
+        llp.update(0, Level.PAIR)
+        # line 1 shares page 0 with line 0
+        assert llp.predict(1) is Level.PAIR
+        # a different page is independent (modulo hash aliasing)
+        other = LINES_PER_PAGE * 3 + 5
+        assert llp.predict(other) in Level.__members__.values()
+
+    def test_update_overwrites(self):
+        llp = LineLocationPredictor()
+        llp.update(100, Level.QUAD)
+        llp.update(100, Level.UNCOMPRESSED)
+        assert llp.predict(100) is Level.UNCOMPRESSED
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            LineLocationPredictor(entries=0)
+
+
+class TestAccuracyTracking:
+    def test_perfect_accuracy_initially(self):
+        llp = LineLocationPredictor()
+        assert llp.accuracy == 1.0
+
+    def test_mispredict_counting_via_update(self):
+        llp = LineLocationPredictor()
+        predicted = llp.predict(100)
+        llp.update(100, Level.QUAD, predicted=predicted)
+        assert llp.mispredictions == 1
+        assert llp.predictions == 1
+        assert llp.accuracy == 0.0
+
+    def test_correct_prediction_not_counted(self):
+        llp = LineLocationPredictor()
+        llp.update(100, Level.QUAD)
+        predicted = llp.predict(100)
+        llp.update(100, Level.QUAD, predicted=predicted)
+        assert llp.mispredictions == 0
+
+    def test_record_mispredict(self):
+        llp = LineLocationPredictor()
+        llp.predict(5)
+        llp.record_mispredict(2)
+        assert llp.mispredictions == 2
+
+    def test_reset_stats(self):
+        llp = LineLocationPredictor()
+        llp.predict(5)
+        llp.record_mispredict()
+        llp.reset_stats()
+        assert llp.predictions == 0
+        assert llp.accuracy == 1.0
+
+    def test_accuracy_on_workload_with_page_locality(self):
+        """Pages with homogeneous levels should predict near-perfectly."""
+        llp = LineLocationPredictor(entries=512)
+        # 8 pages, each with a fixed level, visited round-robin twice
+        levels = [Level.QUAD, Level.PAIR, Level.UNCOMPRESSED, Level.QUAD] * 2
+        for sweep in range(3):
+            for page, level in enumerate(levels):
+                for line in range(0, 64, 7):
+                    addr = page * LINES_PER_PAGE + line
+                    predicted = llp.predict(addr)
+                    llp.update(addr, level, predicted=predicted)
+        # after the first sweep everything is learned
+        assert llp.accuracy > 0.6
+        llp.reset_stats()
+        for page, level in enumerate(levels):
+            for line in range(0, 64, 7):
+                addr = page * LINES_PER_PAGE + line
+                predicted = llp.predict(addr)
+                llp.update(addr, level, predicted=predicted)
+        assert llp.accuracy == 1.0
+
+
+class TestStorage:
+    def test_paper_cost(self):
+        # Table III: 512 entries x 2 bits = 128 bytes
+        assert LineLocationPredictor(entries=512).storage_bits() == 128 * 8

@@ -1,0 +1,131 @@
+"""Tests for compressed-slot packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import HybridCompressor
+from repro.compression.base import CompressionError
+from repro.core.packing import (
+    compress_group,
+    decompress_group,
+    pack_slot,
+    payload_budget,
+    unpack_slot,
+)
+from repro.types import Level
+from tests.lineutils import pointer_line, small_int_line, zero_line
+
+MARKER = b"\xde\xad\xbe\xef"
+
+
+class TestPackSlot:
+    def test_pair_roundtrip(self):
+        slot = pack_slot([b"abc", b"defgh"], MARKER)
+        assert len(slot) == 64
+        assert slot[-4:] == MARKER
+        assert unpack_slot(slot, Level.PAIR) == [b"abc", b"defgh"]
+
+    def test_quad_roundtrip(self):
+        payloads = [b"a" * 10, b"b" * 12, b"c" * 14, b"d" * 16]
+        slot = pack_slot(payloads, MARKER)
+        assert unpack_slot(slot, Level.QUAD) == payloads
+
+    def test_exactly_full_slot(self):
+        # pair: 2 length bytes + payloads + 4-byte marker == 64
+        payloads = [b"x" * 29, b"y" * 29]
+        slot = pack_slot(payloads, MARKER)
+        assert slot is not None
+        assert unpack_slot(slot, Level.PAIR) == payloads
+
+    def test_one_byte_too_big(self):
+        payloads = [b"x" * 30, b"y" * 29]
+        assert pack_slot(payloads, MARKER) is None
+
+    def test_wrong_member_count(self):
+        with pytest.raises(ValueError):
+            pack_slot([b"a"], MARKER)
+        with pytest.raises(ValueError):
+            pack_slot([b"a"] * 3, MARKER)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            pack_slot([b"", b"a"], MARKER)
+
+    def test_empty_marker_supported(self):
+        # the table-based design packs without inline markers
+        slot = pack_slot([b"aa", b"bb"], b"")
+        assert unpack_slot(slot, Level.PAIR) == [b"aa", b"bb"]
+
+
+class TestUnpackSlot:
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            unpack_slot(b"\x00" * 63, Level.PAIR)
+
+    def test_uncompressed_level_rejected(self):
+        with pytest.raises(CompressionError):
+            unpack_slot(b"\x00" * 64, Level.UNCOMPRESSED)
+
+    def test_corrupt_header(self):
+        slot = bytes([0, 0]) + b"\x00" * 62  # zero lengths
+        with pytest.raises(CompressionError):
+            unpack_slot(slot, Level.PAIR)
+
+    def test_overlong_header(self):
+        slot = bytes([200, 200]) + b"\x00" * 62
+        with pytest.raises(CompressionError):
+            unpack_slot(slot, Level.PAIR)
+
+
+class TestBudget:
+    def test_pair_budget(self):
+        assert payload_budget(Level.PAIR) == 64 - 4 - 2
+
+    def test_quad_budget(self):
+        assert payload_budget(Level.QUAD) == 64 - 4 - 4
+
+    def test_custom_marker_size(self):
+        assert payload_budget(Level.PAIR, marker_size=5) == 64 - 5 - 2
+
+
+class TestCompressGroup:
+    def test_zero_pair(self):
+        hybrid = HybridCompressor()
+        lines = [zero_line(), zero_line()]
+        slot = compress_group(hybrid, lines, MARKER)
+        assert slot is not None
+        assert decompress_group(hybrid, slot, Level.PAIR) == lines
+
+    def test_quad_of_small_ints(self):
+        hybrid = HybridCompressor()
+        lines = [small_int_line(start=i) for i in range(4)]
+        slot = compress_group(hybrid, lines, MARKER)
+        if slot is not None:
+            assert decompress_group(hybrid, slot, Level.QUAD) == lines
+
+    def test_pointer_pair_fits_quad_does_not(self):
+        hybrid = HybridCompressor()
+        pair = [pointer_line(base=0x7F00AA000000), pointer_line(base=0x7F00BB000000)]
+        assert compress_group(hybrid, pair, MARKER) is not None
+        quad = pair + [pointer_line(base=0x7F00CC000000), pointer_line(base=0x7F00DD000000)]
+        assert compress_group(hybrid, quad, MARKER) is None
+
+    def test_incompressible_member_fails_group(self):
+        import random
+
+        from tests.lineutils import random_line
+
+        hybrid = HybridCompressor()
+        lines = [zero_line(), random_line(random.Random(3))]
+        assert compress_group(hybrid, lines, MARKER) is None
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=28), min_size=2, max_size=2),
+)
+def test_pack_unpack_property(payloads):
+    slot = pack_slot(payloads, MARKER)
+    if slot is not None:
+        assert unpack_slot(slot, Level.PAIR) == payloads
+        assert slot[-4:] == MARKER

@@ -1,0 +1,92 @@
+"""Tests for the compression enable/disable policies (Dynamic-PTMC)."""
+
+import pytest
+
+from repro.core.policy import AlwaysOffPolicy, AlwaysOnPolicy, SamplingPolicy
+
+
+class TestStaticPolicies:
+    def test_always_on(self):
+        policy = AlwaysOnPolicy()
+        assert policy.enabled_for(0)
+        assert not policy.is_sampled_set(0)
+        policy.on_benefit(0)  # no-ops
+        policy.on_cost(0)
+
+    def test_always_off(self):
+        assert not AlwaysOffPolicy().enabled_for(3)
+
+
+class TestSampling:
+    def test_sampled_fraction(self):
+        policy = SamplingPolicy(sample_period=32)
+        sampled = sum(policy.is_sampled_set(s) for s in range(3200))
+        assert sampled == 100
+
+    def test_initially_enabled(self):
+        policy = SamplingPolicy()
+        assert all(policy.enabled_for(c) for c in range(8))
+
+    def test_costs_disable(self):
+        policy = SamplingPolicy(counter_bits=4, per_core=False)
+        # init = 12, threshold = 8: five costs cross the MSB
+        for _ in range(5):
+            policy.on_cost(0)
+        assert not policy.enabled_for(0)
+
+    def test_benefits_reenable(self):
+        policy = SamplingPolicy(counter_bits=4, per_core=False)
+        for _ in range(6):
+            policy.on_cost(0)
+        for _ in range(4):
+            policy.on_benefit(0)
+        assert policy.enabled_for(0)
+
+    def test_counter_saturates_high(self):
+        policy = SamplingPolicy(counter_bits=4, per_core=False)
+        for _ in range(100):
+            policy.on_benefit(0)
+        assert policy.counter() == 15
+
+    def test_counter_saturates_low(self):
+        policy = SamplingPolicy(counter_bits=4, per_core=False)
+        for _ in range(100):
+            policy.on_cost(0)
+        assert policy.counter() == 0
+
+    def test_per_core_isolation(self):
+        policy = SamplingPolicy(counter_bits=4, num_cores=2, per_core=True)
+        for _ in range(6):
+            policy.on_cost(0)
+        assert not policy.enabled_for(0)
+        assert policy.enabled_for(1)
+
+    def test_shared_counter(self):
+        policy = SamplingPolicy(counter_bits=4, num_cores=8, per_core=False)
+        for _ in range(6):
+            policy.on_cost(3)
+        assert not policy.enabled_for(0)
+
+    def test_benefit_weight(self):
+        policy = SamplingPolicy(counter_bits=6, per_core=False, benefit_weight=3)
+        start = policy.counter()
+        policy.on_benefit(0)
+        assert policy.counter() == start + 3
+
+    def test_event_statistics(self):
+        policy = SamplingPolicy()
+        policy.on_benefit(0)
+        policy.on_cost(0)
+        policy.on_cost(1)
+        assert policy.benefits == 1
+        assert policy.costs == 2
+
+    def test_storage_bits(self):
+        assert SamplingPolicy(counter_bits=12, num_cores=8).storage_bits() == 96
+        assert SamplingPolicy(counter_bits=12, per_core=False).storage_bits() == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(counter_bits=1)
+        with pytest.raises(ValueError):
+            SamplingPolicy(sample_period=0)

@@ -1,0 +1,173 @@
+"""Property-based tests: PTMC's memory state is always interpretable.
+
+A random sequence of evictions and reads through the controller must
+never lose data: every line reads back its last written value, and every
+read terminates within the candidate-location bound.  The data generator
+mixes compressible families with marker-colliding payloads so inversion,
+relocation and invalidation all churn.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base_controller import NullLLCView
+from repro.core.markers import invert
+from repro.core.ptmc import PTMCConfig
+from repro.types import Level
+from tests.controller_harness import FakeLLC, evicted, make_ptmc
+from tests.lineutils import pointer_line, quad_friendly_line, random_line, zero_line
+
+NULL = NullLLCView()
+
+
+def payload_for(ptmc, choice: int, addr: int) -> bytes:
+    """Deterministically pick line contents, including nasty cases."""
+    kind = choice % 6
+    if kind == 0:
+        return zero_line()
+    if kind == 1:
+        return quad_friendly_line(choice)
+    if kind == 2:
+        return pointer_line(base=0x7F0000000000 + (choice << 24))
+    if kind == 3:
+        return random_line(random.Random(choice))
+    if kind == 4:  # marker collision: must be stored inverted
+        return b"\x77" * 60 + ptmc.markers.marker(addr, Level.PAIR)
+    # tail equals an inverted marker: must NOT be inverted
+    return b"\x66" * 60 + invert(ptmc.markers.marker(addr, Level.QUAD))
+
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=31),  # line address (8 groups)
+        st.integers(min_value=0, max_value=10_000),  # data choice
+        st.booleans(),  # co-evict resident neighbours?
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def actual_level(ptmc, addr) -> Level:
+    """The compression level a fill of ``addr`` would observe right now.
+
+    LLC tags are refreshed from the marker at fill time, so eviction-time
+    tags always reflect the line's true residency; the property harness
+    reproduces that hardware invariant.
+    """
+    from repro.core import address_map
+    from repro.core.markers import SlotKind
+
+    for loc, _ in address_map.candidate_locations(addr):
+        cls = ptmc.markers.classify(loc, ptmc.memory.read(loc))
+        if cls.kind in (SlotKind.PAIR, SlotKind.QUAD):
+            if address_map.location_for(addr, cls.level) == loc:
+                return cls.level
+    return Level.UNCOMPRESSED
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_eviction_sequences_preserve_data(ops):
+    ptmc = make_ptmc()
+    expected = {}
+    for addr, choice, with_neighbours in ops:
+        data = payload_for(ptmc, choice, addr)
+        llc = FakeLLC()
+        if with_neighbours:
+            # neighbours currently hold their latest values, tagged with
+            # their true residency level (as a real fill would)
+            base = addr & ~3
+            for neighbour in range(base, base + 4):
+                if neighbour != addr and neighbour in expected:
+                    llc.add(
+                        neighbour,
+                        expected[neighbour],
+                        dirty=False,
+                        fill_level=actual_level(ptmc, neighbour),
+                    )
+        tag = actual_level(ptmc, addr)
+        expected[addr] = data
+        ptmc.handle_eviction(
+            evicted(addr, data, fill_level=tag), 0, 0, llc
+        )
+        # neighbours that were ganged out keep their values in memory
+    for addr, data in expected.items():
+        result = ptmc.read_line(addr, 0, 0, NULL)
+        assert result.data == data, f"line {addr} corrupted"
+        assert result.accesses <= 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(operations)
+def test_reads_never_disturb_state(ops):
+    ptmc = make_ptmc()
+    expected = {}
+    for addr, choice, _ in ops:
+        data = payload_for(ptmc, choice, addr)
+        tag = actual_level(ptmc, addr)
+        expected[addr] = data
+        ptmc.handle_eviction(evicted(addr, data, fill_level=tag), 0, 0, FakeLLC())
+    # interleave reads in a scrambled order, twice
+    order = sorted(expected) + sorted(expected, reverse=True)
+    for addr in order:
+        assert ptmc.read_line(addr, 0, 0, NULL).data == expected[addr]
+
+
+@settings(max_examples=30, deadline=None)
+@given(operations, st.integers(min_value=1, max_value=4))
+def test_tiny_lit_with_rekey_still_correct(ops, lit_capacity):
+    """Even a 1-entry LIT (forcing frequent rekeys) must never lose data."""
+    ptmc = make_ptmc(config=PTMCConfig(lit_capacity=lit_capacity))
+    expected = {}
+    for addr, choice, _ in ops:
+        data = payload_for(ptmc, choice, addr)
+        tag = actual_level(ptmc, addr)
+        expected[addr] = data
+        ptmc.handle_eviction(evicted(addr, data, fill_level=tag), 0, 0, FakeLLC())
+    for addr, data in expected.items():
+        assert ptmc.read_line(addr, 0, 0, NULL).data == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(operations)
+def test_memory_mapped_lit_correct(ops):
+    from repro.core.lit import LITPolicy
+
+    ptmc = make_ptmc(config=PTMCConfig(lit_capacity=1, lit_policy=LITPolicy.MEMORY_MAPPED))
+    expected = {}
+    for addr, choice, _ in ops:
+        data = payload_for(ptmc, choice, addr)
+        tag = actual_level(ptmc, addr)
+        expected[addr] = data
+        ptmc.handle_eviction(evicted(addr, data, fill_level=tag), 0, 0, FakeLLC())
+    for addr, data in expected.items():
+        assert ptmc.read_line(addr, 0, 0, NULL).data == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations)
+def test_non_ganged_ablation_correct(ops):
+    """The retain-lines ablation (footnote 7) must stay functionally exact."""
+    ptmc = make_ptmc(config=PTMCConfig(ganged_eviction=False))
+    expected = {}
+    for addr, choice, with_neighbours in ops:
+        data = payload_for(ptmc, choice, addr)
+        llc = FakeLLC()
+        if with_neighbours:
+            base = addr & ~3
+            for neighbour in range(base, base + 4):
+                if neighbour != addr and neighbour in expected:
+                    llc.add(
+                        neighbour,
+                        expected[neighbour],
+                        dirty=False,
+                        fill_level=actual_level(ptmc, neighbour),
+                    )
+        tag = actual_level(ptmc, addr)
+        expected[addr] = data
+        ptmc.handle_eviction(evicted(addr, data, fill_level=tag), 0, 0, llc)
+    for addr, data in expected.items():
+        assert ptmc.read_line(addr, 0, 0, NULL).data == data

@@ -1,0 +1,99 @@
+"""Attack-resilience of the marker scheme (paper §IV-C).
+
+The paper's threat model: an adversary who can choose the data values it
+writes tries to flood the Line Inversion Table with marker collisions
+(each collision occupies an LIT entry; overflow forces recovery work).
+With keyed per-line markers the adversary cannot construct colliding
+data without the secret key; with a known/weak scheme it trivially can.
+These tests demonstrate both sides of that argument.
+"""
+
+import random
+
+from repro.core.lit import LITPolicy
+from repro.core.markers import MarkerScheme
+from repro.core.ptmc import PTMCConfig
+from repro.types import Level
+from tests.controller_harness import FakeLLC, evicted, make_ptmc
+
+
+class TestAdversaryWithoutKey:
+    def test_guessing_markers_fails(self):
+        """An adversary who knows the algorithm but not the key cannot
+        produce colliding tails better than chance."""
+        secret = MarkerScheme(key=0xC0FFEE)
+        adversary_model = MarkerScheme(key=0xBAD)  # wrong key guess
+        collisions = 0
+        for addr in range(2_000):
+            guess = b"\x00" * 60 + adversary_model.marker(addr, Level.PAIR)
+            if secret.collides(addr, guess):
+                collisions += 1
+        assert collisions == 0
+
+    def test_random_data_never_floods_lit(self):
+        """Random traffic cannot realistically fill even a tiny LIT."""
+        ptmc = make_ptmc(config=PTMCConfig(lit_capacity=4))
+        rng = random.Random(9)
+        for i in range(1_500):
+            data = bytes(rng.getrandbits(8) for _ in range(64))
+            ptmc.handle_eviction(evicted(i % 256, data), 0, 0, FakeLLC())
+        assert ptmc.rekeys == 0
+        assert ptmc.inversions == 0
+
+    def test_replaying_markers_across_lines_fails(self):
+        """Markers leak per line; replaying one line's marker elsewhere
+        does not collide (per-line generation, not a global constant)."""
+        scheme = MarkerScheme(key=77)
+        leaked = scheme.marker(100, Level.QUAD)  # suppose line 100's marker leaked
+        collisions = sum(
+            scheme.collides(addr, b"\x00" * 60 + leaked) for addr in range(101, 600)
+        )
+        assert collisions == 0
+
+
+class TestAdversaryWithKey:
+    def test_known_markers_force_rekey(self):
+        """With the key (hypothetically) known, collisions are trivial —
+        the design's answer is rekey-on-overflow, which rotates the key
+        and keeps data intact."""
+        ptmc = make_ptmc(config=PTMCConfig(lit_capacity=2, lit_policy=LITPolicy.REKEY))
+        written = {}
+        for addr in range(6):
+            data = b"\x13" * 60 + ptmc.markers.marker(addr, Level.PAIR)
+            written[addr] = data
+            ptmc.handle_eviction(evicted(addr, data), 0, 0, FakeLLC())
+        assert ptmc.rekeys >= 1  # the attack triggered recovery
+        from repro.core.base_controller import NullLLCView
+
+        for addr, data in written.items():
+            assert ptmc.read_line(addr, 0, 0, NullLLCView()).data == data
+
+    def test_rekey_invalidates_attackers_knowledge(self):
+        """After a rekey, previously harvested marker values are dead."""
+        scheme = MarkerScheme(key=5)
+        harvested = {addr: scheme.marker(addr, Level.PAIR) for addr in range(200)}
+        scheme.rekey()
+        surviving = sum(
+            scheme.collides(addr, b"\x00" * 60 + marker)
+            for addr, marker in harvested.items()
+        )
+        assert surviving == 0
+
+    def test_memory_mapped_fallback_bounds_damage(self):
+        """Option 1 (memory-mapped LIT): sustained collisions degrade to
+        at most one extra access per affected line — no crash, no loss."""
+        ptmc = make_ptmc(
+            config=PTMCConfig(lit_capacity=1, lit_policy=LITPolicy.MEMORY_MAPPED)
+        )
+        written = {}
+        for addr in range(8):
+            data = b"\x14" * 60 + ptmc.markers.marker(addr, Level.QUAD)
+            written[addr] = data
+            ptmc.handle_eviction(evicted(addr, data), 0, 0, FakeLLC())
+        assert ptmc.lit.overflows >= 1
+        from repro.core.base_controller import NullLLCView
+
+        for addr, data in written.items():
+            result = ptmc.read_line(addr, 0, 0, NullLLCView())
+            assert result.data == data
+            assert result.accesses <= 2  # worst case: 2x bandwidth, as the paper says

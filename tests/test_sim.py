@@ -1,0 +1,206 @@
+"""Tests for the simulation runner, results and configs."""
+
+import pytest
+
+from repro.sim.config import SamplingConfig, SimConfig, bench_config, paper_config, quick_config
+from repro.sim.results import SimResult, geometric_mean, normalized_bandwidth, weighted_speedup
+from repro.sim.runner import clear_cache, compare, simulate, suite_geomean, sweep
+from repro.sim.system import DESIGNS, build_controller
+from repro.dram.storage import PhysicalMemory
+from repro.dram.system import DRAMStats, DRAMSystem
+from repro.types import Category
+from repro.workloads import get_workload
+
+CFG = quick_config(ops_per_core=600, warmup_ops=200)
+
+
+class TestConfigs:
+    def test_presets_distinct(self):
+        assert paper_config().hierarchy.l3_bytes > bench_config().hierarchy.l3_bytes
+        assert bench_config().hierarchy.l3_bytes > quick_config().hierarchy.l3_bytes
+
+    def test_with_override(self):
+        cfg = bench_config().with_(ops_per_core=123)
+        assert cfg.ops_per_core == 123
+
+    def test_hashable(self):
+        assert hash(bench_config()) == hash(bench_config())
+        assert bench_config() == bench_config()
+
+    def test_paper_scale_values(self):
+        cfg = paper_config()
+        assert cfg.capacity_lines == 1 << 28  # 16GB
+        assert cfg.hierarchy.l3_bytes == 8 * 1024 * 1024
+
+
+class TestBuildController:
+    def test_all_designs_instantiate(self):
+        for design in DESIGNS:
+            memory = PhysicalMemory(1 << 12)
+            dram = DRAMSystem()
+            controller, policy = build_controller(design, memory, dram, CFG)
+            assert controller is not None
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError):
+            build_controller("bogus", PhysicalMemory(1 << 12), DRAMSystem(), CFG)
+
+    def test_dynamic_gets_sampling_policy(self):
+        from repro.core.policy import SamplingPolicy
+
+        _, policy = build_controller(
+            "dynamic_ptmc", PhysicalMemory(1 << 12), DRAMSystem(), CFG
+        )
+        assert isinstance(policy, SamplingPolicy)
+
+
+class TestRunner:
+    def test_simulate_returns_result(self):
+        result = simulate("lbm06", "uncompressed", CFG)
+        assert result.workload == "lbm06"
+        assert result.design == "uncompressed"
+        assert result.elapsed_cycles > 0
+        assert len(result.core_cycles) == CFG.num_cores
+
+    def test_cache_hit_returns_same_object(self):
+        a = simulate("lbm06", "uncompressed", CFG)
+        b = simulate("lbm06", "uncompressed", CFG)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = simulate("lbm06", "uncompressed", CFG)
+        b = simulate("lbm06", "uncompressed", CFG, use_cache=False)
+        assert a is not b
+        assert a.core_cycles == b.core_cycles  # deterministic
+
+    def test_clear_cache(self):
+        a = simulate("lbm06", "uncompressed", CFG)
+        clear_cache()
+        b = simulate("lbm06", "uncompressed", CFG)
+        assert a is not b
+
+    def test_compare_self_is_one(self):
+        assert compare("lbm06", "uncompressed", CFG) == pytest.approx(1.0)
+
+    def test_workload_object_accepted(self):
+        result = simulate(get_workload("lbm06"), "uncompressed", CFG)
+        assert result.workload == "lbm06"
+
+    def test_sweep_shape(self):
+        matrix = sweep([get_workload("lbm06")], ["uncompressed", "ideal"], CFG)
+        assert set(matrix) == {"lbm06"}
+        assert set(matrix["lbm06"]) == {"uncompressed", "ideal"}
+
+    def test_suite_geomean(self):
+        value = suite_geomean([get_workload("lbm06")], "uncompressed", CFG)
+        assert value == pytest.approx(1.0)
+
+
+class TestResults:
+    def _result(self, cycles, reads=100, writes=20):
+        stats = DRAMStats()
+        stats.accesses_by_category = {
+            Category.DATA_READ: reads,
+            Category.DATA_WRITE: writes,
+        }
+        stats.reads, stats.writes = reads, writes
+        return SimResult(
+            workload="w",
+            design="d",
+            core_cycles=[cycles] * 2,
+            core_instructions=[1000] * 2,
+            dram=stats,
+        )
+
+    def test_weighted_speedup(self):
+        fast, slow = self._result(500), self._result(1000)
+        assert weighted_speedup(fast, slow) == pytest.approx(2.0)
+
+    def test_weighted_speedup_requires_same_traces(self):
+        a = self._result(500)
+        b = self._result(500)
+        b.core_instructions = [999] * 2
+        with pytest.raises(ValueError):
+            weighted_speedup(a, b)
+
+    def test_normalized_bandwidth(self):
+        design = self._result(500, reads=60, writes=20)
+        baseline = self._result(500, reads=80, writes=20)
+        norm = normalized_bandwidth(design, baseline)
+        assert norm["data_read"] == pytest.approx(0.6)
+        assert sum(norm.values()) == pytest.approx(0.8)
+
+    def test_l3_hit_rate(self):
+        result = self._result(500)
+        result.l3_hits, result.l3_misses = 30, 70
+        assert result.l3_hit_rate == pytest.approx(0.3)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_ipc_per_core(self):
+        result = self._result(500)
+        assert result.ipc_per_core == [2.0, 2.0]
+
+
+class TestEnergy:
+    def test_energy_positive(self):
+        from repro.energy import energy_of
+
+        result = simulate("lbm06", "uncompressed", CFG)
+        report = energy_of(result)
+        assert report.energy_nj > 0
+        assert report.power_mw > 0
+        assert report.edp > 0
+
+    def test_relative_energy_speedup_consistent(self):
+        from repro.energy import relative_energy
+
+        base = simulate("lbm06", "uncompressed", CFG)
+        ours = simulate("lbm06", "ideal", CFG)
+        rel = relative_energy(ours, base)
+        assert rel.speedup == pytest.approx(
+            max(base.core_cycles) / max(ours.core_cycles)
+        )
+        # fewer DRAM accesses and shorter runtime => less energy
+        if ours.total_dram_accesses < base.total_dram_accesses and rel.speedup > 1:
+            assert rel.energy < 1.05
+
+    def test_identical_runs_unity(self):
+        from repro.energy import relative_energy
+
+        base = simulate("lbm06", "uncompressed", CFG)
+        rel = relative_energy(base, base)
+        assert rel.speedup == pytest.approx(1.0)
+        assert rel.energy == pytest.approx(1.0)
+        assert rel.edp == pytest.approx(1.0)
+
+
+class TestAnalysis:
+    def test_format_table(self):
+        from repro.analysis import format_table
+
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_format_speedups(self):
+        from repro.analysis import format_speedups
+
+        text = format_speedups("t", {"w1": {"d1": 1.5}, "w2": {"d1": 0.9}})
+        assert "w1" in text and "1.500" in text
+
+    def test_format_bandwidth(self):
+        from repro.analysis import format_bandwidth
+
+        text = format_bandwidth("t", {"w": {"data_read": 0.5, "metadata_read": 0.2}})
+        assert "total" in text and "0.700" in text
+
+    def test_banner(self):
+        from repro.analysis import banner
+
+        assert "hello" in banner("hello")

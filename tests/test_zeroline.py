@@ -1,0 +1,32 @@
+"""Tests for the trivial zero-line compressor."""
+
+import pytest
+
+from repro.compression.base import CompressionError
+from repro.compression.zeroline import ZeroLine
+from tests.lineutils import zero_line
+
+zl = ZeroLine()
+
+
+def test_zero_line_compresses():
+    assert zl.compress(zero_line()) == b"\x00"
+
+
+def test_nonzero_rejected():
+    line = b"\x00" * 63 + b"\x01"
+    assert zl.compress(line) is None
+
+
+def test_roundtrip():
+    assert zl.decompress(zl.compress(zero_line())) == zero_line()
+
+
+def test_bad_payload():
+    with pytest.raises(CompressionError):
+        zl.decompress(b"\x01")
+
+
+def test_wrong_size():
+    with pytest.raises(ValueError):
+        zl.compress(b"\x00" * 10)
