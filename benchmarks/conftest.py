@@ -1,10 +1,15 @@
 """Shared configuration for the figure/table benchmarks.
 
 Every benchmark regenerates one of the paper's evaluation artefacts.
-Simulations are memoized process-wide (``repro.sim.runner``), so designs
-and baselines shared between figures are only simulated once per pytest
-session.  Each benchmark prints its rows (the "figure") and dumps them as
-JSON under ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+Simulations are memoized process-wide (``repro.sim.runner``) and
+persisted to an on-disk result cache (``repro.sim.diskcache``), so
+designs and baselines shared between figures are only simulated once per
+pytest session — and a *repeat* session is served from disk without
+executing any simulation at all.  The cache lives in
+``benchmarks/.simcache`` (override with ``$REPRO_CACHE_DIR``); delete it
+or run ``repro cache clear`` after changing simulator semantics.  Each
+benchmark prints its rows (the "figure") and dumps them as JSON under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
 
 Scale note: these run the ``bench_config`` system (DESIGN.md §4) — a
 proportionally scaled machine with short synthetic traces.  Shapes and
@@ -12,16 +17,41 @@ orderings are the reproduction target, not absolute values.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
+from repro.sim import runner
 from repro.sim.config import bench_config
 
 #: the one config every figure uses (baselines shared via the runner cache)
 BENCH_CONFIG = bench_config(ops_per_core=4000, warmup_ops=6000)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: session-scoped persistent result cache shared by every figure/table
+CACHE_DIR = pathlib.Path(
+    os.environ.get("REPRO_CACHE_DIR", pathlib.Path(__file__).parent / ".simcache")
+)
+
+
+def pytest_configure(config):
+    runner.configure_disk_cache(CACHE_DIR)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Report (and persist) how much the result caches saved this session."""
+    stats = runner.execution_stats()
+    serviced = stats["executed"] + stats["memory_hits"] + stats["disk_hits"]
+    if not serviced:
+        return
+    save_results("_cache_stats", {**stats, "cache_dir": str(CACHE_DIR)})
+    terminalreporter.write_line(
+        f"sim result cache [{CACHE_DIR}]: {stats['executed']:.0f} executed "
+        f"({stats['sim_seconds']:.1f}s), {stats['disk_hits']:.0f} disk hits, "
+        f"{stats['memory_hits']:.0f} memory hits"
+    )
 
 
 def save_results(experiment_id: str, payload) -> None:

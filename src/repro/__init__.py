@@ -30,15 +30,17 @@ from repro.sim import (
     SimResult,
     bench_config,
     compare,
+    configure_disk_cache,
     paper_config,
     quick_config,
+    run_batch,
     simulate,
     suite_geomean,
     sweep,
     weighted_speedup,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DESIGNS",
@@ -46,8 +48,10 @@ __all__ = [
     "SimResult",
     "bench_config",
     "compare",
+    "configure_disk_cache",
     "paper_config",
     "quick_config",
+    "run_batch",
     "simulate",
     "suite_geomean",
     "sweep",

@@ -6,6 +6,12 @@ Examples::
     python -m repro run lbm06 dynamic_ptmc     # one simulation + report
     python -m repro compare lbm06              # all designs on one workload
     python -m repro suite gap static_ptmc      # geomean over a suite
+    python -m repro sweep spec06 --jobs 4      # parallel speedup matrix
+    python -m repro cache stats                # on-disk result cache
+
+Results are cached on disk (content-addressed, ``~/.cache/repro-ptmc``
+or ``$REPRO_CACHE_DIR``), so repeat invocations are near-instant; pass
+``--no-disk-cache`` to opt out or ``repro cache clear`` to start fresh.
 """
 
 from __future__ import annotations
@@ -15,7 +21,9 @@ import sys
 
 from repro.analysis import banner, format_table
 from repro.energy import relative_energy
+from repro.sim import runner
 from repro.sim.config import bench_config
+from repro.sim.diskcache import DiskCache
 from repro.sim.runner import compare, simulate
 from repro.sim.system import DESIGNS
 from repro.workloads import ALL_64, GAP, MEMORY_INTENSIVE, MIXES, SPEC06, SPEC17, get_workload
@@ -115,6 +123,60 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.sim.parallel import sweep_with_report
+    from repro.sim.results import geometric_mean
+
+    config = _config(args)
+    workloads = SUITES[args.suite]
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    unknown = sorted(set(designs) - set(DESIGNS))
+    if unknown:
+        print(f"unknown designs: {', '.join(unknown)}; choose from {DESIGNS}")
+        return 2
+    matrix, report = sweep_with_report(workloads, designs, config, jobs=args.jobs)
+    print(banner(f"Sweep over '{args.suite}' (speedup vs uncompressed)"))
+    print(
+        format_table(
+            ["workload", *designs],
+            [
+                [name, *(f"{row[d]:.3f}" for d in designs)]
+                for name, row in matrix.items()
+            ],
+        )
+    )
+    geomeans = [
+        f"{geometric_mean(row[d] for row in matrix.values()):.3f}" for d in designs
+    ]
+    print(format_table(["", *designs], [["geomean", *geomeans]]))
+    counts = report.counts()
+    print(
+        f"\n{counts['jobs']} runs with --jobs {report.jobs_used}: "
+        f"{counts['executed']} executed, {counts['disk_hits']} from disk, "
+        f"{counts['memory_hits']} from memory "
+        f"({report.wall_seconds:.2f}s wall)"
+    )
+    if report.seconds:
+        print(
+            f"per-run wall time: min {min(report.seconds):.3f}s / "
+            f"mean {sum(report.seconds) / len(report.seconds):.3f}s / "
+            f"max {max(report.seconds):.3f}s"
+        )
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = runner.disk_cache() or DiskCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(banner("Simulation result cache"))
+    print(format_table(["key", "value"], [[k, str(v)] for k, v in stats.items()]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,6 +184,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--ops", type=int, default=4000, help="measured ops per core")
     parser.add_argument("--warmup", type=int, default=6000, help="warmup ops per core")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-ptmc/sim)",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="do not read or write the persistent result cache",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and designs")
@@ -136,11 +209,33 @@ def build_parser() -> argparse.ArgumentParser:
     suite = sub.add_parser("suite", help="one design across a suite")
     suite.add_argument("suite", choices=sorted(SUITES))
     suite.add_argument("design", choices=DESIGNS)
+
+    sweep = sub.add_parser(
+        "sweep", help="speedup matrix over a suite (parallel with --jobs)"
+    )
+    sweep.add_argument("suite", choices=sorted(SUITES))
+    sweep.add_argument(
+        "--designs",
+        default="static_ptmc,dynamic_ptmc,ideal",
+        help="comma-separated design list (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (default: serial in-process)",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=["stats", "clear"])
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if not args.no_disk_cache:
+        runner.configure_disk_cache(args.cache_dir)
     if getattr(args, "workload", None) is not None:
         get_workload(args.workload)  # fail fast with the roster listing
     handlers = {
@@ -148,6 +243,8 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "suite": cmd_suite,
+        "sweep": cmd_sweep,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

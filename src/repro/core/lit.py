@@ -79,6 +79,20 @@ class LineInversionTable:
         self._entries.add(loc)
         return False
 
+    def force_spill(self, loc: int) -> bool:
+        """Last-resort spill to the memory-mapped bitmap, regardless of policy.
+
+        Used by the controller when bounded rekeying gives up (fresh
+        markers kept colliding): correctness demands the inversion be
+        recorded *somewhere*, so the entry goes to the in-memory bitmap
+        even under ``REKEY``.  Returns ``True`` if a spill entry was
+        written (the caller charges the DRAM access).
+        """
+        if loc in self._entries:
+            return False
+        self._spilled.add(loc)
+        return True
+
     def remove(self, loc: int) -> bool:
         """Forget ``loc`` (its data no longer collides).
 
@@ -100,7 +114,10 @@ class LineInversionTable:
         """
         if loc in self._entries:
             return True
-        if self.policy is LITPolicy.MEMORY_MAPPED:
+        if self.policy is LITPolicy.MEMORY_MAPPED or self._spilled:
+            # under REKEY the bitmap is only populated by force_spill's
+            # bounded-rekey fallback; consult it (and charge the lookup)
+            # whenever it could hold entries
             self.spill_lookups += 1
             return loc in self._spilled
         return False

@@ -34,6 +34,10 @@ class LineLocationPredictor:
         self._lct: List[Level] = [Level.UNCOMPRESSED] * entries
         self.predictions = 0
         self.mispredictions = 0
+        #: extra re-issued accesses beyond the first correction (a quad
+        #: group can need up to 3 probes); bandwidth accounting, not
+        #: accuracy — a prediction is wrong at most once.
+        self.extra_reissues = 0
 
     @property
     def entries(self) -> int:
@@ -59,16 +63,30 @@ class LineLocationPredictor:
             self.mispredictions += 1
         self._lct[self._index(addr)] = actual
 
-    def record_mispredict(self, count: int = 1) -> None:
-        """Charge mispredictions detected outside :meth:`update`."""
-        self.mispredictions += count
+    def record_mispredict(self, extra_accesses: int = 1) -> None:
+        """Charge one misprediction resolved after ``extra_accesses`` probes.
+
+        A single prediction is wrong at most once, however many candidate
+        locations had to be re-probed before the line was found; the
+        re-issues beyond the first are tracked separately so bandwidth
+        accounting keeps them without corrupting the accuracy statistic.
+        """
+        if extra_accesses < 1:
+            return
+        self.mispredictions += 1
+        self.extra_reissues += extra_accesses - 1
 
     @property
     def accuracy(self) -> float:
         """Fraction of predictions that found the line in one access."""
         if self.predictions == 0:
             return 1.0
-        return 1.0 - self.mispredictions / self.predictions
+        value = 1.0 - self.mispredictions / self.predictions
+        assert 0.0 <= value <= 1.0, (
+            f"LLP accuracy out of range: {self.mispredictions} mispredictions "
+            f"over {self.predictions} predictions"
+        )
+        return value
 
     def storage_bits(self) -> int:
         """2 bits of last-compressibility state per LCT entry (Table III)."""
@@ -77,3 +95,4 @@ class LineLocationPredictor:
     def reset_stats(self) -> None:
         self.predictions = 0
         self.mispredictions = 0
+        self.extra_reissues = 0

@@ -45,6 +45,10 @@ class PTMCConfig:
     ganged_eviction: bool = True
     decompression_latency: int = DECOMPRESSION_LATENCY
     marker_key: int = 0x5EED
+    #: how many rekey sweeps one store may trigger before falling back to
+    #: a memory-mapped LIT spill (prevents unbounded rekey recursion when
+    #: fresh markers keep colliding)
+    max_rekeys: int = 3
 
 
 @dataclass
@@ -93,6 +97,7 @@ class PTMCController(MemoryController):
     # ------------------------------------------------------------------
 
     def read_line(self, addr: int, now: int, core_id: int, llc: LLCView) -> ReadResult:
+        predicted = address_map.needs_prediction(addr)
         search_order = self._search_order(addr)
         accesses = 0
         completion = now
@@ -107,11 +112,15 @@ class PTMCController(MemoryController):
             data, extras, actual_level, compressed = resolved
             mispredicted = accesses > 1
             if mispredicted:
-                self.llp.record_mispredict(accesses - 1)
+                # One wrong prediction, however many candidate slots the
+                # re-issue walked — and only when a prediction was made at
+                # all (group bases have a single fixed location).
+                if predicted:
+                    self.llp.record_mispredict(accesses - 1)
                 if llc.is_sampled_set(addr):
                     for _ in range(accesses - 1):
                         self.policy.on_cost(core_id)
-            if address_map.needs_prediction(addr):
+            if predicted:
                 self.llp.update(addr, actual_level)
             if compressed:
                 completion += self.config.decompression_latency
@@ -468,21 +477,32 @@ class PTMCController(MemoryController):
         A colliding line is inverted and tracked in the LIT.  On LIT
         overflow under the REKEY policy, memory is re-encoded with fresh
         markers and the collision is re-evaluated — the new markers almost
-        certainly no longer collide with this data.
+        certainly no longer collide with this data.  The retry is bounded:
+        after ``config.max_rekeys`` sweeps for a single store (pathological
+        adversarial data), the entry spills to the memory-mapped bitmap
+        instead of rekeying forever.
         """
-        if not self.markers.collides(addr, data):
-            if self.lit.remove(addr):
+        rekeys_left = self.config.max_rekeys
+        while True:
+            if not self.markers.collides(addr, data):
+                if self.lit.remove(addr):
+                    self.dram.access(
+                        self._lit_spill_addr(addr), now, Category.MAINTENANCE
+                    )
+                return data
+            try:
+                spilled = self.lit.insert(addr)
+            except LITOverflow:
+                if rekeys_left <= 0:
+                    spilled = self.lit.force_spill(addr)
+                else:
+                    rekeys_left -= 1
+                    self._rekey_sweep(now)
+                    continue
+            if spilled:
                 self.dram.access(self._lit_spill_addr(addr), now, Category.MAINTENANCE)
-            return data
-        try:
-            spilled = self.lit.insert(addr)
-        except LITOverflow:
-            self._rekey_sweep(now)
-            return self._encode_uncompressed(addr, data, now)
-        if spilled:
-            self.dram.access(self._lit_spill_addr(addr), now, Category.MAINTENANCE)
-        self.inversions += 1
-        return invert(data)
+            self.inversions += 1
+            return invert(data)
 
     def _stale_slot_confirmed(self, slot: int, gang: Dict[int, _LineState]) -> bool:
         """Safety net: only invalidate slots that really hold stale copies.
@@ -552,7 +572,12 @@ class PTMCController(MemoryController):
                 self.memory.write(loc, packed)
             else:
                 if self.markers.collides(loc, info):
-                    self.lit.insert(loc)
+                    try:
+                        self.lit.insert(loc)
+                    except LITOverflow:
+                        # the fresh key still collides on more lines than
+                        # the LIT holds; spill rather than rekey recursively
+                        self.lit.force_spill(loc)
                     self.memory.write(loc, invert(info))
                 else:
                     self.memory.write(loc, info)

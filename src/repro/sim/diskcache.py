@@ -1,0 +1,240 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Simulations are pure functions of (workload parameters, design, config):
+the trace generators, data patterns and DRAM model are all seeded from
+the :class:`~repro.sim.config.SimConfig` and the workload spec.  That
+makes results safe to persist and share across processes — a full sweep
+re-run in a cold process can be satisfied entirely from disk.
+
+Keys are a SHA-256 over the *fully resolved* identity of the run:
+
+- the workload's complete parameter set (not just its name — two specs
+  that share a name but differ in any parameter must never share
+  results),
+- the design string,
+- every field of the resolved ``SimConfig`` (recursively), and
+- a cache schema version (bump :data:`CACHE_SCHEMA_VERSION` when the
+  simulator's semantics change and previously stored results go stale).
+
+Entries are the versioned JSON produced by
+:meth:`repro.sim.results.SimResult.to_json_dict`; corrupt or
+version-mismatched files are discarded and treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.sim.results import ResultDecodeError, SimResult
+
+#: Bump to invalidate every previously stored entry (key-side version).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable that overrides the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-ptmc/sim``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or (Path.home() / ".cache")
+    return Path(base) / "repro-ptmc" / "sim"
+
+
+# ---------------------------------------------------------------------------
+# Stable identities
+# ---------------------------------------------------------------------------
+
+
+def stable_identity(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-able primitives, stably and recursively.
+
+    Dataclasses are tagged with their class name so two different types
+    with coincidentally equal fields cannot collide; enum members reduce
+    to (type, value); dict entries are sorted by their serialized key so
+    insertion order never leaks into the hash.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return ["bytes", obj.hex()]
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.value]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: stable_identity(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return [type(obj).__name__, fields]
+    if isinstance(obj, dict):
+        entries = sorted(
+            (json.dumps(stable_identity(k), sort_keys=True), stable_identity(v))
+            for k, v in obj.items()
+        )
+        return ["dict", entries]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [stable_identity(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted(json.dumps(stable_identity(i), sort_keys=True) for i in obj)]
+    raise TypeError(f"cannot build a stable identity for {type(obj).__name__}: {obj!r}")
+
+
+def workload_identity(workload: Any) -> Any:
+    """The workload's *full parameter* identity.
+
+    This — not ``workload.name`` — is what memoization and disk-cache
+    keys must use: a ``WorkloadSpec`` reduces to every field (footprint,
+    locality fractions, data profile, seed, …) and a ``MixWorkload`` to
+    its per-core spec list, so same-named-but-different workloads get
+    distinct keys.
+    """
+    return stable_identity(workload)
+
+
+def config_identity(config: Any) -> Any:
+    """The fully-resolved ``SimConfig`` identity (recursive over presets)."""
+    return stable_identity(config)
+
+
+def cache_key(workload: Any, design: str, config: Any) -> str:
+    """Stable SHA-256 key for one (workload, design, config) run."""
+    blob = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "workload": workload_identity(workload),
+            "design": design,
+            "config": config_identity(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CacheCounters:
+    """Hit/miss accounting for one :class:`DiskCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evicted_corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class DiskCache:
+    """A directory of ``<sha256>.json`` result files, written atomically.
+
+    Concurrent writers (the parallel sweep workers) are safe: entries are
+    written to a temporary file and ``os.replace``-d into place, and any
+    truncated/corrupt/stale-schema file is deleted and reported as a miss.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.counters = CacheCounters()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for ``key``, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.counters.misses += 1
+            return None
+        try:
+            result = SimResult.from_json(text)
+        except ResultDecodeError:
+            self.counters.misses += 1
+            self.counters.evicted_corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.counters.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Persist ``result`` under ``key`` (atomic, last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(result.to_json())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.counters.stores += 1
+
+    # -- maintenance -----------------------------------------------------
+
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Everything ``repro cache stats`` reports."""
+        return {
+            "dir": str(self.root),
+            "entries": len(self),
+            "bytes": self.size_bytes(),
+            **self.counters.as_dict(),
+        }
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "CacheCounters",
+    "DiskCache",
+    "cache_key",
+    "config_identity",
+    "default_cache_dir",
+    "stable_identity",
+    "workload_identity",
+]

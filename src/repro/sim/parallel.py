@@ -1,0 +1,174 @@
+"""Process-parallel sweep execution (the batch evaluation engine).
+
+The (workload, design, config) space is embarrassingly parallel: every
+simulation is a deterministic pure function of its seeds, so fanning a
+sweep out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+produces bitwise-identical results to the serial path while first runs
+scale with cores.  Workers share the parent's on-disk result cache
+(:mod:`repro.sim.diskcache`), so a re-run — even in a cold process —
+satisfies every job from disk without executing a single simulation.
+
+Entry points mirror the serial runner: :func:`run_batch` executes an
+explicit job list and reports per-run provenance and wall time;
+:func:`sweep` and :func:`suite_geomean` are the parallel counterparts of
+the runner functions of the same names.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim import runner
+from repro.sim.config import SimConfig, bench_config
+from repro.sim.diskcache import cache_key
+from repro.sim.results import SimResult, geometric_mean, weighted_speedup
+from repro.workloads.suites import Workload
+
+#: One unit of work: (workload, design) under the batch's config.
+Job = Tuple[Workload, str]
+
+
+@dataclass
+class BatchReport:
+    """Everything a finished batch reports, in job order."""
+
+    results: List[SimResult] = field(default_factory=list)
+    #: where each result came from: "memory" | "disk" | "executed"
+    sources: List[str] = field(default_factory=list)
+    #: per-job wall time as observed by the process that served it
+    seconds: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    jobs_used: int = 1
+
+    @property
+    def executed(self) -> int:
+        return self.sources.count("executed")
+
+    @property
+    def cache_hits(self) -> int:
+        return len(self.sources) - self.executed
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "jobs": len(self.sources),
+            "executed": self.executed,
+            "memory_hits": self.sources.count("memory"),
+            "disk_hits": self.sources.count("disk"),
+        }
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker at the shared disk cache."""
+    if cache_dir is not None:
+        runner.configure_disk_cache(cache_dir)
+
+
+def _run_job(job: Tuple[Workload, str, SimConfig]) -> Tuple[SimResult, str, float]:
+    workload, design, config = job
+    start = time.perf_counter()
+    result, source = runner.simulate_with_source(workload, design, config)
+    return result, source, time.perf_counter() - start
+
+
+def run_batch(
+    tasks: Sequence[Job],
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> BatchReport:
+    """Execute every (workload, design) task, in parallel when asked.
+
+    ``jobs`` <= 1 (or ``None``) runs serially in-process; larger values
+    spread the tasks over that many worker processes.  ``cache_dir``
+    overrides the disk cache the workers use (defaults to the parent's
+    configured cache, if any).  All results are adopted into the parent's
+    in-process memo, so follow-up serial calls are free.
+    """
+    if config is None:
+        config = bench_config()
+    resolved: List[Job] = [
+        (runner.resolve_workload(workload), design) for workload, design in tasks
+    ]
+    if cache_dir is None and runner.disk_cache() is not None:
+        cache_dir = str(runner.disk_cache().root)
+    report = BatchReport(jobs_used=max(1, jobs or 1))
+    start = time.perf_counter()
+    if report.jobs_used <= 1:
+        outcomes = [_run_job((w, d, config)) for w, d in resolved]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=report.jobs_used,
+            initializer=_init_worker,
+            initargs=(cache_dir,),
+        ) as pool:
+            outcomes = list(pool.map(_run_job, [(w, d, config) for w, d in resolved]))
+    report.wall_seconds = time.perf_counter() - start
+    for (workload, design), (result, source, seconds) in zip(resolved, outcomes):
+        runner.adopt(cache_key(workload, design, config), result)
+        report.results.append(result)
+        report.sources.append(source)
+        report.seconds.append(seconds)
+    return report
+
+
+def sweep_with_report(
+    workloads: Iterable[Workload],
+    designs: Iterable[str],
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+    baseline: str = "uncompressed",
+    cache_dir: Optional[str] = None,
+) -> Tuple[Dict[str, Dict[str, float]], BatchReport]:
+    """Speedup matrix plus the batch's provenance/timing report."""
+    workload_list = [runner.resolve_workload(w) for w in workloads]
+    design_list = list(designs)
+    needed = list(dict.fromkeys([*design_list, baseline]))
+    tasks: List[Job] = [(w, d) for w in workload_list for d in needed]
+    report = run_batch(tasks, config=config, jobs=jobs, cache_dir=cache_dir)
+    by_job: Dict[Tuple[str, str], SimResult] = {
+        (w.name, d): result for (w, d), result in zip(tasks, report.results)
+    }
+    matrix = {
+        w.name: {
+            design: weighted_speedup(by_job[(w.name, design)], by_job[(w.name, baseline)])
+            for design in design_list
+        }
+        for w in workload_list
+    }
+    return matrix, report
+
+
+def sweep(
+    workloads: Iterable[Workload],
+    designs: Iterable[str],
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+    baseline: str = "uncompressed",
+) -> Dict[str, Dict[str, float]]:
+    """Parallel speedup matrix, identical to the serial runner's."""
+    matrix, _ = sweep_with_report(workloads, designs, config, jobs, baseline)
+    return matrix
+
+
+def suite_geomean(
+    workloads: Iterable[Workload],
+    design: str,
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+) -> float:
+    """Parallel geometric-mean weighted speedup over a suite."""
+    matrix, _ = sweep_with_report(workloads, [design], config, jobs)
+    return geometric_mean(row[design] for row in matrix.values())
+
+
+__all__ = [
+    "BatchReport",
+    "Job",
+    "run_batch",
+    "suite_geomean",
+    "sweep",
+    "sweep_with_report",
+]

@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.types import Category
 from repro.dram.system import DRAMStats
+
+#: Version of the :class:`SimResult` JSON wire format.  Bump whenever the
+#: serialized shape changes *or* when simulation semantics change enough
+#: that previously cached results must not be reused — every persisted
+#: result embeds this and the disk cache treats a mismatch as a miss.
+RESULT_SCHEMA_VERSION = 1
+
+
+class ResultDecodeError(ValueError):
+    """A serialized ``SimResult`` could not be decoded.
+
+    Raised on schema-version mismatches, missing fields, and type errors;
+    the disk cache treats any of these as "entry absent" and re-simulates.
+    """
 
 
 @dataclass
@@ -50,6 +65,98 @@ class SimResult:
     @property
     def total_dram_accesses(self) -> int:
         return self.dram.total_accesses
+
+    # --- versioned JSON wire format (used by the on-disk result cache) ---
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation, tagged with the schema version."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "workload": self.workload,
+            "design": self.design,
+            "core_cycles": list(self.core_cycles),
+            "core_instructions": list(self.core_instructions),
+            "dram": {
+                "accesses_by_category": {
+                    category.value: count
+                    for category, count in sorted(
+                        self.dram.accesses_by_category.items(),
+                        key=lambda kv: kv[0].value,
+                    )
+                },
+                "row_hits": self.dram.row_hits,
+                "row_misses": self.dram.row_misses,
+                "activations": self.dram.activations,
+                "reads": self.dram.reads,
+                "writes": self.dram.writes,
+                "busy_cycles": self.dram.busy_cycles,
+                "refresh_stalls": self.dram.refresh_stalls,
+            },
+            "l3_hits": self.l3_hits,
+            "l3_misses": self.l3_misses,
+            "useful_prefetches": self.useful_prefetches,
+            "demand_accesses": self.demand_accesses,
+            "llp_accuracy": self.llp_accuracy,
+            "metadata_hit_rate": self.metadata_hit_rate,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "SimResult":
+        """Inverse of :meth:`to_json_dict`; raises :class:`ResultDecodeError`."""
+        if not isinstance(payload, dict):
+            raise ResultDecodeError("result payload is not an object")
+        schema = payload.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ResultDecodeError(
+                f"result schema {schema!r} != supported {RESULT_SCHEMA_VERSION}"
+            )
+        try:
+            dram_payload = payload["dram"]
+            dram = DRAMStats(
+                accesses_by_category={
+                    Category(name): int(count)
+                    for name, count in dram_payload["accesses_by_category"].items()
+                },
+                row_hits=int(dram_payload["row_hits"]),
+                row_misses=int(dram_payload["row_misses"]),
+                activations=int(dram_payload["activations"]),
+                reads=int(dram_payload["reads"]),
+                writes=int(dram_payload["writes"]),
+                busy_cycles=int(dram_payload["busy_cycles"]),
+                refresh_stalls=int(dram_payload["refresh_stalls"]),
+            )
+            llp_accuracy = payload["llp_accuracy"]
+            metadata_hit_rate = payload["metadata_hit_rate"]
+            return cls(
+                workload=str(payload["workload"]),
+                design=str(payload["design"]),
+                core_cycles=[int(c) for c in payload["core_cycles"]],
+                core_instructions=[int(i) for i in payload["core_instructions"]],
+                dram=dram,
+                l3_hits=int(payload["l3_hits"]),
+                l3_misses=int(payload["l3_misses"]),
+                useful_prefetches=int(payload["useful_prefetches"]),
+                demand_accesses=int(payload["demand_accesses"]),
+                llp_accuracy=None if llp_accuracy is None else float(llp_accuracy),
+                metadata_hit_rate=(
+                    None if metadata_hit_rate is None else float(metadata_hit_rate)
+                ),
+                extras={str(k): float(v) for k, v in payload["extras"].items()},
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ResultDecodeError(f"malformed result payload: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimResult":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ResultDecodeError(f"invalid JSON: {exc}") from exc
+        return cls.from_json_dict(payload)
 
 
 def weighted_speedup(result: SimResult, baseline: SimResult) -> float:

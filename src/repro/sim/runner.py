@@ -1,21 +1,132 @@
-"""High-level experiment runner with per-session result caching.
+"""High-level experiment runner with layered result caching.
 
-``simulate`` runs (workload, design, config) once and memoizes the result
-so the many figure/table benchmarks that share a baseline do not re-run
-it.  ``compare`` produces the paper's headline metric: weighted speedup
-over the uncompressed baseline.
+``simulate`` runs (workload, design, config) once per key and serves
+repeats from two layers:
+
+1. an in-process memo (the per-session cache the benchmarks share), and
+2. an optional content-addressed on-disk cache
+   (:mod:`repro.sim.diskcache`) that survives across processes, enabled
+   with :func:`configure_disk_cache` — the CLI and the benchmark harness
+   turn it on by default.
+
+Keys are the full identity of the run — the workload's complete
+parameter set, the design, and the resolved config — so two workloads
+that share a name but differ in parameters never alias each other's
+results.  ``compare`` produces the paper's headline metric: weighted
+speedup over the uncompressed baseline.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.sim.config import SimConfig, bench_config
+from repro.sim.diskcache import DiskCache, cache_key
 from repro.sim.results import SimResult, geometric_mean, weighted_speedup
 from repro.sim.system import DESIGNS, SimulatedSystem
 from repro.workloads.suites import Workload, get_workload
 
-_cache: Dict[Tuple[str, str, SimConfig], SimResult] = {}
+_memo: Dict[str, SimResult] = {}
+_disk: Optional[DiskCache] = None
+
+
+@dataclass
+class RunnerStats:
+    """Process-wide execution counters (surfaced by the CLI/benchmarks)."""
+
+    executed: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    sim_seconds: float = 0.0
+    #: wall time of each simulation actually executed, in call order
+    run_seconds: list = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "executed": self.executed,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "sim_seconds": round(self.sim_seconds, 6),
+        }
+
+    def reset(self) -> None:
+        self.executed = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.sim_seconds = 0.0
+        self.run_seconds.clear()
+
+
+stats = RunnerStats()
+
+
+def configure_disk_cache(path=None, enabled: bool = True) -> Optional[DiskCache]:
+    """Enable (or disable) the persistent result cache for this process.
+
+    ``path=None`` uses the default directory (``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-ptmc/sim``).  Returns the active cache, if any.
+    """
+    global _disk
+    _disk = DiskCache(path) if enabled else None
+    return _disk
+
+
+def disk_cache() -> Optional[DiskCache]:
+    """The currently configured on-disk cache (``None`` when disabled)."""
+    return _disk
+
+
+def resolve_workload(workload) -> Workload:
+    """Accept either a roster name or a workload object."""
+    if isinstance(workload, str):
+        return get_workload(workload)
+    return workload
+
+
+def _execute(workload: Workload, design: str, config: SimConfig) -> SimResult:
+    start = time.perf_counter()
+    result = SimulatedSystem(workload, design, config).run()
+    elapsed = time.perf_counter() - start
+    result.extras["sim_seconds"] = elapsed
+    stats.executed += 1
+    stats.sim_seconds += elapsed
+    stats.run_seconds.append(elapsed)
+    return result
+
+
+def simulate_with_source(
+    workload,
+    design: str,
+    config: Optional[SimConfig] = None,
+    use_cache: bool = True,
+) -> Tuple[SimResult, str]:
+    """Like :func:`simulate`, also reporting where the result came from.
+
+    The source is one of ``"memory"``, ``"disk"`` or ``"executed"``.
+    """
+    workload = resolve_workload(workload)
+    if config is None:
+        config = bench_config()
+    if not use_cache:
+        return _execute(workload, design, config), "executed"
+    key = cache_key(workload, design, config)
+    cached = _memo.get(key)
+    if cached is not None:
+        stats.memory_hits += 1
+        return cached, "memory"
+    if _disk is not None:
+        loaded = _disk.get(key)
+        if loaded is not None:
+            stats.disk_hits += 1
+            _memo[key] = loaded
+            return loaded, "disk"
+    result = _execute(workload, design, config)
+    _memo[key] = result
+    if _disk is not None:
+        _disk.put(key, result)
+    return result, "executed"
 
 
 def simulate(
@@ -24,18 +135,18 @@ def simulate(
     config: Optional[SimConfig] = None,
     use_cache: bool = True,
 ) -> SimResult:
-    """Run one simulation (memoized on (workload name, design, config))."""
-    if isinstance(workload, str):
-        workload = get_workload(workload)
-    if config is None:
-        config = bench_config()
-    key = (workload.name, design, config)
-    if use_cache and key in _cache:
-        return _cache[key]
-    result = SimulatedSystem(workload, design, config).run()
-    if use_cache:
-        _cache[key] = result
+    """Run one simulation (memo -> disk cache -> execute)."""
+    result, _ = simulate_with_source(workload, design, config, use_cache)
     return result
+
+
+def adopt(key: str, result: SimResult) -> None:
+    """Seed the in-process memo with a result computed elsewhere.
+
+    Used by the parallel sweep engine to make worker-computed results
+    visible to subsequent serial calls in the parent process.
+    """
+    _memo.setdefault(key, result)
 
 
 def compare(
@@ -54,8 +165,17 @@ def sweep(
     workloads: Iterable[Workload],
     designs: Iterable[str],
     config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Speedup matrix: {workload: {design: weighted speedup}}."""
+    """Speedup matrix: {workload: {design: weighted speedup}}.
+
+    ``jobs > 1`` dispatches the runs to a process pool (deterministic
+    seeds make the parallel results bitwise-identical to serial ones).
+    """
+    if jobs is not None and jobs > 1:
+        from repro.sim import parallel
+
+        return parallel.sweep(workloads, designs, config, jobs=jobs)
     matrix: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
         matrix[workload.name] = {
@@ -68,21 +188,43 @@ def suite_geomean(
     workloads: Iterable[Workload],
     design: str,
     config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
 ) -> float:
     """Geometric-mean weighted speedup over a suite (paper's averages)."""
+    if jobs is not None and jobs > 1:
+        from repro.sim import parallel
+
+        return parallel.suite_geomean(workloads, design, config, jobs=jobs)
     return geometric_mean(compare(w, design, config) for w in workloads)
 
 
 def clear_cache() -> None:
     """Drop memoized simulation results (frees memory between sweeps)."""
-    _cache.clear()
+    _memo.clear()
+
+
+def execution_stats() -> Dict[str, float]:
+    """Runner counters plus the disk cache's, for reporting."""
+    payload: Dict[str, float] = dict(stats.as_dict())
+    if _disk is not None:
+        for name, value in _disk.counters.as_dict().items():
+            payload[f"disk_{name}"] = value
+    return payload
 
 
 __all__ = [
     "DESIGNS",
-    "simulate",
-    "compare",
-    "sweep",
-    "suite_geomean",
+    "RunnerStats",
+    "adopt",
     "clear_cache",
+    "compare",
+    "configure_disk_cache",
+    "disk_cache",
+    "execution_stats",
+    "resolve_workload",
+    "simulate",
+    "simulate_with_source",
+    "stats",
+    "suite_geomean",
+    "sweep",
 ]

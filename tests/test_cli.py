@@ -3,6 +3,16 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.sim import runner
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Keep CLI-enabled disk caching away from the user's real cache dir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    yield
+    runner.configure_disk_cache(enabled=False)
+    runner.clear_cache()
 
 
 class TestParser:
@@ -48,3 +58,40 @@ class TestCommands:
         assert main(["--ops", "150", "--warmup", "50", "suite", "spec17", "uncompressed"]) == 0
         out = capsys.readouterr().out
         assert "geomean: 1.000" in out
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["--ops", "150", "--warmup", "50", "sweep", "spec17", "--designs", "ideal"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ideal" in out
+        assert "geomean" in out
+        assert "executed" in out
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        args = ["--ops", "150", "--warmup", "50", "sweep", "spec17", "--designs", "ideal"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        runner.clear_cache()
+        runner.configure_disk_cache(enabled=False)
+        assert main(
+            ["--no-disk-cache", *args, "--jobs", "2"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+        # the speedup table lines must be identical between the two paths
+        rows = lambda text: [l for l in text.splitlines() if l.strip().startswith(("lbm", "mcf", "cam4", "fotonik", "roms"))]
+        assert rows(parallel_out) == rows(serial_out)
+
+    def test_sweep_rejects_unknown_design(self, capsys):
+        assert main(["sweep", "spec17", "--designs", "warp_drive"]) == 2
+        assert "unknown designs" in capsys.readouterr().out
+
+    def test_cache_stats_and_clear(self, capsys):
+        assert main(["--ops", "150", "--warmup", "50", "run", "lbm06", "ideal"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out

@@ -1,0 +1,188 @@
+"""Tests for the content-addressed on-disk result cache.
+
+Covers the cache-key identity rules (full workload parameters, not just
+the name — the memoization-aliasing regression), the versioned JSON
+round trip for :class:`SimResult`, and corruption/version-mismatch
+handling.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sim import runner
+from repro.sim.config import quick_config
+from repro.sim.diskcache import (
+    DiskCache,
+    cache_key,
+    stable_identity,
+    workload_identity,
+)
+from repro.sim.results import (
+    RESULT_SCHEMA_VERSION,
+    ResultDecodeError,
+    SimResult,
+)
+from repro.workloads import get_workload
+from repro.workloads.generators import make_mix, spec_like
+
+CFG = quick_config(ops_per_core=300, warmup_ops=100)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runner():
+    """Fresh memo and no disk cache unless a test configures one."""
+    runner.clear_cache()
+    runner.configure_disk_cache(enabled=False)
+    yield
+    runner.clear_cache()
+    runner.configure_disk_cache(enabled=False)
+
+
+def small_result(**overrides) -> SimResult:
+    result = runner.simulate("lbm06", "uncompressed", CFG)
+    return dataclasses.replace(result, **overrides) if overrides else result
+
+
+class TestIdentity:
+    def test_same_spec_same_identity(self):
+        a = spec_like("dup", footprint_lines=512, seed=7)
+        b = spec_like("dup", footprint_lines=512, seed=7)
+        assert workload_identity(a) == workload_identity(b)
+        assert cache_key(a, "ideal", CFG) == cache_key(b, "ideal", CFG)
+
+    def test_same_name_different_params_distinct(self):
+        a = spec_like("dup", footprint_lines=512, seed=7)
+        b = spec_like("dup", footprint_lines=4096, seed=7)
+        assert workload_identity(a) != workload_identity(b)
+        assert cache_key(a, "ideal", CFG) != cache_key(b, "ideal", CFG)
+
+    def test_seed_is_part_of_identity(self):
+        a = spec_like("dup", seed=1)
+        b = spec_like("dup", seed=2)
+        assert cache_key(a, "ideal", CFG) != cache_key(b, "ideal", CFG)
+
+    def test_mix_identity_covers_member_specs(self):
+        a = make_mix("m", [spec_like("x", seed=1)], seed=5)
+        b = make_mix("m", [spec_like("x", seed=1, footprint_lines=9999)], seed=5)
+        assert workload_identity(a) != workload_identity(b)
+
+    def test_design_and_config_in_key(self):
+        w = get_workload("lbm06")
+        assert cache_key(w, "ideal", CFG) != cache_key(w, "static_ptmc", CFG)
+        other = CFG.with_(ops_per_core=301)
+        assert cache_key(w, "ideal", CFG) != cache_key(w, "ideal", other)
+
+    def test_stable_identity_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            stable_identity(object())
+
+
+class TestRunnerAliasingRegression:
+    def test_same_name_workloads_do_not_share_results(self):
+        """Two same-named workloads with different parameters must not
+        return each other's memoized results (the old name-keyed bug)."""
+        small = spec_like("dup", footprint_lines=256, seed=3)
+        large = spec_like("dup", footprint_lines=8192, seq_frac=0.1, seed=3)
+        a = runner.simulate(small, "uncompressed", CFG)
+        b = runner.simulate(large, "uncompressed", CFG)
+        assert a is not b
+        assert a.core_cycles != b.core_cycles
+        # and each key still memoizes correctly on repeat
+        assert runner.simulate(small, "uncompressed", CFG) is a
+        assert runner.simulate(large, "uncompressed", CFG) is b
+
+
+class TestSerialization:
+    def test_round_trip_equality(self):
+        result = small_result()
+        assert SimResult.from_json(result.to_json()) == result
+
+    def test_round_trip_preserves_optionals(self):
+        result = runner.simulate("lbm06", "static_ptmc", CFG)
+        loaded = SimResult.from_json(result.to_json())
+        assert loaded.llp_accuracy == result.llp_accuracy
+        assert loaded.extras == result.extras
+
+    def test_schema_version_embedded(self):
+        payload = small_result().to_json_dict()
+        assert payload["schema"] == RESULT_SCHEMA_VERSION
+
+    def test_version_mismatch_rejected(self):
+        payload = small_result().to_json_dict()
+        payload["schema"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ResultDecodeError):
+            SimResult.from_json_dict(payload)
+
+    def test_missing_field_rejected(self):
+        payload = small_result().to_json_dict()
+        del payload["dram"]
+        with pytest.raises(ResultDecodeError):
+            SimResult.from_json_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ResultDecodeError):
+            SimResult.from_json("{not json")
+
+    def test_unknown_category_rejected(self):
+        payload = small_result().to_json_dict()
+        payload["dram"]["accesses_by_category"]["warp_traffic"] = 3
+        with pytest.raises(ResultDecodeError):
+            SimResult.from_json_dict(payload)
+
+
+class TestDiskCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = small_result()
+        cache.put("ab" * 32, result)
+        assert cache.get("ab" * 32) == result
+        assert cache.counters.hits == 1
+        assert cache.counters.stores == 1
+
+    def test_absent_key_is_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get("cd" * 32) is None
+        assert cache.counters.misses == 1
+
+    def test_corrupt_entry_discarded(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, small_result())
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("garbage{{{")
+        assert cache.get(key) is None
+        assert cache.counters.evicted_corrupt == 1
+        assert not path.exists()
+
+    def test_stale_schema_entry_discarded(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, small_result())
+        path = tmp_path / key[:2] / f"{key}.json"
+        payload = json.loads(path.read_text())
+        payload["schema"] = RESULT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert cache.counters.evicted_corrupt == 1
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("ab" * 32, small_result())
+        cache.put("cd" * 32, small_result())
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_runner_uses_disk_cache_across_memo_clears(self, tmp_path):
+        runner.configure_disk_cache(tmp_path)
+        first, src_first = runner.simulate_with_source("lbm06", "ideal", CFG)
+        assert src_first == "executed"
+        runner.clear_cache()  # simulate a fresh process (memo gone)
+        second, src_second = runner.simulate_with_source("lbm06", "ideal", CFG)
+        assert src_second == "disk"
+        assert second == first
+        assert second is not first

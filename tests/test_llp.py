@@ -57,17 +57,41 @@ class TestAccuracyTracking:
         assert llp.mispredictions == 0
 
     def test_record_mispredict(self):
+        # one prediction resolved after 2 extra probes: ONE misprediction,
+        # with the second re-issue tracked separately (a prediction cannot
+        # be wrong more than once)
         llp = LineLocationPredictor()
         llp.predict(5)
         llp.record_mispredict(2)
-        assert llp.mispredictions == 2
+        assert llp.mispredictions == 1
+        assert llp.extra_reissues == 1
+
+    def test_accuracy_bounded_under_quad_group_mispredictions(self):
+        """Regression: a quad-group miss re-issues up to 3 probes; accuracy
+        must stay within [0, 1] even when every prediction is wrong."""
+        llp = LineLocationPredictor()
+        for addr in range(10):
+            llp.predict(addr)
+            llp.record_mispredict(3)  # worst case: walked all candidates
+        assert llp.predictions == 10
+        assert llp.mispredictions == 10
+        assert llp.extra_reissues == 20
+        assert llp.accuracy == 0.0
+
+    def test_record_mispredict_zero_extra_is_noop(self):
+        llp = LineLocationPredictor()
+        llp.predict(5)
+        llp.record_mispredict(0)
+        assert llp.mispredictions == 0
+        assert llp.accuracy == 1.0
 
     def test_reset_stats(self):
         llp = LineLocationPredictor()
         llp.predict(5)
-        llp.record_mispredict()
+        llp.record_mispredict(3)
         llp.reset_stats()
         assert llp.predictions == 0
+        assert llp.extra_reissues == 0
         assert llp.accuracy == 1.0
 
     def test_accuracy_on_workload_with_page_locality(self):

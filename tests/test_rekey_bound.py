@@ -1,0 +1,74 @@
+"""Regression tests for the bounded rekey retry in ``_encode_uncompressed``.
+
+The old code recursed unconditionally after a rekey sweep; if the fresh
+markers still collided (pathological data, or an adversary who can
+predict keys) the store never terminated.  The fix retries at most
+``PTMCConfig.max_rekeys`` times, then spills the inversion to the
+memory-mapped bitmap.
+
+The worst case is modelled by patching ``markers.collides`` to report a
+collision for every line, so no rekey can ever help.  That patch breaks
+the classify/collides invariant real markers maintain, so these tests
+assert on termination, sweep counts and LIT state — read-back fidelity
+under *genuine* markers is covered by the unpatched test and the
+existing integration/property suites.
+"""
+
+from tests.controller_harness import FakeLLC, evicted, make_ptmc
+
+from repro.core.lit import LITPolicy
+from repro.core.ptmc import PTMCConfig
+from repro.types import Level
+
+
+def always_colliding_ptmc(max_rekeys=3):
+    config = PTMCConfig(
+        lit_capacity=1, lit_policy=LITPolicy.REKEY, max_rekeys=max_rekeys
+    )
+    ptmc = make_ptmc(config=config)
+    ptmc.markers.collides = lambda addr, data: True
+    return ptmc
+
+
+class TestRekeyBound:
+    def test_store_terminates_after_bounded_rekeys(self):
+        ptmc = always_colliding_ptmc(max_rekeys=2)
+        # first store fills the 1-entry LIT without overflowing
+        ptmc.handle_eviction(evicted(40, bytes(range(64))), 0, 0, FakeLLC())
+        assert ptmc.rekeys == 0
+        # the second store overflows; rekeying cannot clear the (patched)
+        # collision, so the controller must stop at the bound and spill
+        # instead of recursing forever
+        ptmc.handle_eviction(evicted(41, b"\x11" * 64), 0, 0, FakeLLC())
+        assert ptmc.rekeys == 2
+        assert ptmc.inversions == 2
+
+    def test_fallback_spill_keeps_inversion_visible(self):
+        ptmc = always_colliding_ptmc(max_rekeys=1)
+        ptmc.handle_eviction(evicted(40, bytes(range(64))), 0, 0, FakeLLC())
+        ptmc.handle_eviction(evicted(41, b"\x11" * 64), 0, 0, FakeLLC())
+        assert ptmc.rekeys == 1
+        # the inversion that no longer fits on-chip is recorded in the
+        # memory-mapped bitmap and stays visible to the read path
+        assert ptmc.lit.is_inverted(41)
+
+    def test_zero_max_rekeys_never_sweeps(self):
+        ptmc = always_colliding_ptmc(max_rekeys=0)
+        ptmc.handle_eviction(evicted(40, bytes(range(64))), 0, 0, FakeLLC())
+        ptmc.handle_eviction(evicted(41, b"\x22" * 64), 0, 0, FakeLLC())
+        assert ptmc.rekeys == 0
+        assert ptmc.lit.is_inverted(41)
+
+    def test_real_markers_still_recover_via_rekey(self):
+        """With genuine markers one rekey resolves the collision, so the
+        bound must not change the normal overflow path (data intact)."""
+        config = PTMCConfig(lit_capacity=2, lit_policy=LITPolicy.REKEY)
+        ptmc = make_ptmc(config=config)
+        plain = bytes(range(64))
+        ptmc.handle_eviction(evicted(20, plain), 0, 0, FakeLLC())
+        for addr in (30, 31, 33):
+            data = b"\x55" * 60 + ptmc.markers.marker(addr, Level.PAIR)
+            ptmc.handle_eviction(evicted(addr, data), 0, 0, FakeLLC())
+        assert 1 <= ptmc.rekeys <= config.max_rekeys
+        probe = FakeLLC()
+        assert ptmc.read_line(20, 0, 0, probe).data == plain
