@@ -9,7 +9,6 @@ from benchmarks.conftest import run_once, save_results
 from repro.analysis import banner, format_bandwidth
 from repro.sim.results import normalized_bandwidth
 from repro.sim.runner import simulate
-from repro.types import Category
 from repro.workloads import HIGH_MPKI
 
 

@@ -20,7 +20,6 @@ import struct
 from repro.cache.cache import EvictedLine
 from repro.core.base_controller import NullLLCView
 from repro.core.lit import LITPolicy
-from repro.core.markers import SlotKind
 from repro.core.ptmc import PTMCConfig, PTMCController
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
@@ -97,7 +96,7 @@ def main() -> None:
     print("\n=== 4. Marker collision -> line inversion =============")
     evil = b"\x41" * 60 + ptmc.markers.marker(20, Level.PAIR)
     ptmc.handle_eviction(EvictedLine(20, evil, True, Level.UNCOMPRESSED, 0), 0, 0, null)
-    print(f"line 20's data ends with slot 20's own 2:1 marker")
+    print("line 20's data ends with slot 20's own 2:1 marker")
     print(f"stored form is inverted: {memory.read(20)[:4].hex()} (data was 41414141)")
     print(f"LIT now tracks line 20: {20 in ptmc.lit}")
     back = ptmc.read_line(20, 0, 0, null)

@@ -1,11 +1,18 @@
 """Result formatting helpers used by the benchmark harness."""
 
 from repro.analysis.charts import hbar_chart, sorted_curve, stacked_chart
-from repro.analysis.report import banner, format_bandwidth, format_speedups, format_table
+from repro.analysis.report import (
+    banner,
+    format_bandwidth,
+    format_metrics,
+    format_speedups,
+    format_table,
+)
 
 __all__ = [
     "banner",
     "format_bandwidth",
+    "format_metrics",
     "format_speedups",
     "format_table",
     "hbar_chart",

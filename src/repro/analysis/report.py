@@ -52,6 +52,17 @@ def format_bandwidth(title: str, breakdown: Mapping[str, Mapping[str, float]]) -
     return f"{title}\n" + format_table(["workload"] + categories + ["total"], rows)
 
 
+def format_metrics(metrics: Mapping[str, object]) -> str:
+    """Telemetry-registry mapping as an aligned path/value table.
+
+    Paths sort lexically, so a namespace's metrics (``dram.*``,
+    ``ptmc.llp.*``) read as contiguous blocks.
+    """
+    return format_table(
+        ["metric", "value"], [[path, metrics[path]] for path in sorted(metrics)]
+    )
+
+
 def banner(text: str) -> str:
     rule = "=" * max(len(text), 8)
     return f"\n{rule}\n{text}\n{rule}"

@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
+from repro.telemetry import StatScope
 from repro.types import Level
 
 
@@ -147,6 +148,17 @@ class Cache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def register_stats(self, scope: StatScope, windowed: bool = True) -> None:
+        """Expose hit/miss counters and the derived hit rate.
+
+        ``windowed=False`` keeps whole-run accounting across a snapshot
+        boundary (the MemZip metadata cache reports its historical
+        warmup-inclusive hit rate this way).
+        """
+        hits = scope.counter("hits", lambda: self.hits, windowed=windowed)
+        misses = scope.counter("misses", lambda: self.misses, windowed=windowed)
+        scope.ratio("hit_rate", hits, [hits, misses])
 
     def reset_stats(self) -> None:
         self.hits = 0

@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.cache.cache import Cache, CacheLine, EvictedLine
 from repro.core.base_controller import LLCView, MemoryController
 from repro.core.policy import CompressionPolicy
+from repro.telemetry import StatScope
 from repro.types import Level
 
 
@@ -105,6 +106,26 @@ class CacheHierarchy:
         # give prefetch-style controllers a residency filter
         if hasattr(controller, "resident_filter"):
             controller.resident_filter = lambda addr: self.l3.probe(addr) is not None
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose LLC counters at the scope root plus L1/L2 aggregates.
+
+        The shared L3 is the hierarchy's headline statistic, so its
+        hit/miss counters sit directly at ``llc.*``; the private levels
+        aggregate across cores under ``llc.l1.*`` / ``llc.l2.*``.
+        """
+        self.l3.register_stats(scope)
+        scope.counter("useful_prefetches", lambda: self.useful_prefetches)
+        scope.counter("demand_accesses", lambda: self.demand_accesses)
+        for name, caches in (("l1", self.l1s), ("l2", self.l2s)):
+            level = scope.scope(name)
+            hits = level.counter(
+                "hits", lambda cs=caches: sum(c.hits for c in cs)
+            )
+            misses = level.counter(
+                "misses", lambda cs=caches: sum(c.misses for c in cs)
+            )
+            level.ratio("hit_rate", hits, [hits, misses])
 
     # ------------------------------------------------------------------
 

@@ -17,9 +17,10 @@ or ``$REPRO_CACHE_DIR``), so repeat invocations are near-instant; pass
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis import banner, format_table
+from repro.analysis import banner, format_metrics, format_table
 from repro.energy import relative_energy
 from repro.sim import runner
 from repro.sim.config import bench_config
@@ -89,6 +90,17 @@ def cmd_run(args) -> int:
         result.bandwidth_by_category().items(), key=lambda kv: -kv[1]
     ):
         print(f"  {category.value:<20} {count}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    config = _config(args)
+    result = simulate(args.workload, args.design, config)
+    if args.json:
+        print(json.dumps(result.metrics, indent=2, sort_keys=True))
+        return 0
+    print(banner(f"Telemetry: {args.workload} on {args.design}"))
+    print(format_metrics(result.metrics))
     return 0
 
 
@@ -162,6 +174,17 @@ def cmd_sweep(args) -> int:
             f"mean {sum(report.seconds) / len(report.seconds):.3f}s / "
             f"max {max(report.seconds):.3f}s"
         )
+    if args.dump_metrics:
+        payload = json.dumps(report.metrics_matrix(), indent=2, sort_keys=True)
+        if args.dump_metrics == "-":
+            print(payload)
+        else:
+            with open(args.dump_metrics, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(
+                f"wrote metrics for {len(report.results)} runs "
+                f"to {args.dump_metrics}"
+            )
     return 0
 
 
@@ -203,6 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload")
     run.add_argument("design", choices=DESIGNS)
 
+    stats = sub.add_parser(
+        "stats", help="full telemetry-registry dump for one simulation"
+    )
+    stats.add_argument("workload")
+    stats.add_argument("design", choices=DESIGNS)
+    stats.add_argument(
+        "--json", action="store_true", help="emit the metrics mapping as JSON"
+    )
+
     cmp_ = sub.add_parser("compare", help="all designs on one workload")
     cmp_.add_argument("workload")
 
@@ -226,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: serial in-process)",
     )
+    sweep.add_argument(
+        "--dump-metrics",
+        metavar="PATH",
+        default=None,
+        help="write per-run telemetry as JSON to PATH ('-' for stdout)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=["stats", "clear"])
@@ -241,6 +279,7 @@ def main(argv=None) -> int:
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "stats": cmd_stats,
         "compare": cmd_compare,
         "suite": cmd_suite,
         "sweep": cmd_sweep,

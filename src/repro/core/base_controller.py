@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
+from repro.telemetry import StatScope
 from repro.types import ReadResult, WriteResult
 
 if TYPE_CHECKING:  # import kept lazy to avoid a cache <-> core cycle
@@ -74,6 +75,13 @@ class MemoryController(ABC):
         self, evicted: EvictedLine, now: int, core_id: int, llc: LLCView
     ) -> WriteResult:
         """Service an LLC eviction (clean or dirty)."""
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Register this design's counters under its registry namespace.
+
+        The base controller has none; designs with statistics override
+        this and add theirs (one line per counter).
+        """
 
     def storage_bits(self) -> Dict[str, int]:
         """Per-structure on-chip storage budget (Table III)."""

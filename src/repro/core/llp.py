@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.types import Level
+from repro.telemetry import StatScope
 from repro.util.hashing import mix64
 
 LINES_PER_PAGE = 64
@@ -87,6 +88,15 @@ class LineLocationPredictor:
             f"over {self.predictions} predictions"
         )
         return value
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose prediction counters and windowed accuracy (``*.llp.*``)."""
+        predictions = scope.counter("predictions", lambda: self.predictions)
+        mispredictions = scope.counter("mispredictions", lambda: self.mispredictions)
+        scope.counter("extra_reissues", lambda: self.extra_reissues)
+        scope.ratio(
+            "accuracy", mispredictions, [predictions], default=1.0, one_minus=True
+        )
 
     def storage_bits(self) -> int:
         """2 bits of last-compressibility state per LCT entry (Table III)."""

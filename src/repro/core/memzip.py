@@ -27,6 +27,7 @@ from repro.core.base_controller import DECOMPRESSION_LATENCY, LLCView, MemoryCon
 from repro.types import Category, Level, ReadResult, WriteResult
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
+from repro.telemetry import StatScope
 
 _PLACEHOLDER = b"\x00" * 64
 
@@ -82,6 +83,17 @@ class MemZipController(MemoryController):
     @property
     def metadata_hit_rate(self) -> float:
         return self.metadata_cache.hit_rate
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose the metadata cache (``memzip.metadata_cache.*``).
+
+        Whole-run window: MemZip has always reported its metadata hit
+        rate over the entire run, warmup included, so the counters stay
+        un-windowed to preserve that accounting.
+        """
+        self.metadata_cache.register_stats(
+            scope.scope("metadata_cache"), windowed=False
+        )
 
     def _burst_count(self, addr: int) -> int:
         return self._bursts.get(addr, 8)

@@ -27,6 +27,7 @@ from repro.core.packing import compress_group, decompress_group
 from repro.core.types import Category, Level, ReadResult, WriteResult
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
+from repro.telemetry import StatScope
 
 _EMPTY_MARKER = b""
 
@@ -105,6 +106,11 @@ class MetadataTableController(MemoryController):
     @property
     def metadata_hit_rate(self) -> float:
         return self.metadata_cache.hit_rate
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose the metadata cache (``tmc_table.metadata_cache.*``)."""
+        scope.counter("clean_writebacks", lambda: self.clean_writebacks)
+        self.metadata_cache.register_stats(scope.scope("metadata_cache"))
 
     # Read path ------------------------------------------------------------
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.telemetry import StatScope
+
 
 class CompressionPolicy:
     """Interface consulted by the PTMC controller and the cache hierarchy."""
@@ -35,6 +37,9 @@ class CompressionPolicy:
 
     def on_cost(self, core_id: int) -> None:
         """A sampled-set compression overhead access was observed."""
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Register policy counters (``policy.*``); stateless policies: none."""
 
 
 class AlwaysOnPolicy(CompressionPolicy):
@@ -79,6 +84,7 @@ class SamplingPolicy(CompressionPolicy):
         self.benefit_weight = benefit_weight
         self.sample_offset = sample_offset % sample_period
         self.per_core = per_core
+        self.num_cores = num_cores
         self._max = (1 << counter_bits) - 1
         self._threshold = 1 << (counter_bits - 1)  # MSB weight
         count = num_cores if per_core else 1
@@ -115,6 +121,23 @@ class SamplingPolicy(CompressionPolicy):
         slot = self._slot(core_id)
         if self._counters[slot] > 0:
             self._counters[slot] -= 1
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose cost/benefit totals and the live enabled fraction.
+
+        Whole-run window: the utility counters integrate history from the
+        start of the run (warmup included) — windowing the totals would
+        misstate what actually drove the policy's decisions.
+        """
+        scope.counter("benefits", lambda: self.benefits, windowed=False)
+        scope.counter("costs", lambda: self.costs, windowed=False)
+        scope.gauge(
+            "compression_enabled",
+            lambda: float(
+                sum(self.enabled_for(c) for c in range(self.num_cores))
+            )
+            / self.num_cores,
+        )
 
     def storage_bits(self) -> int:
         """Counter storage (Table III lists 12 bytes for the counters)."""

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 from repro.core.base_controller import LLCView, MemoryController
 from repro.core.types import Category, Level, ReadResult, WriteResult
 from repro.cache.cache import EvictedLine
+from repro.telemetry import StatScope
 
 
 class NextLinePrefetchController(MemoryController):
@@ -32,6 +33,10 @@ class NextLinePrefetchController(MemoryController):
     #: lines per 4KB page; next-line prefetchers do not cross page
     #: boundaries (the next physical page belongs to an unrelated frame)
     LINES_PER_PAGE = 64
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose the prefetch counter (``nextline_prefetch.*``)."""
+        scope.counter("prefetches_issued", lambda: self.prefetches_issued)
 
     def read_line(self, addr: int, now: int, core_id: int, llc: LLCView) -> ReadResult:
         completion = self.dram.access(addr, now, Category.DATA_READ)

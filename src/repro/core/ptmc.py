@@ -32,6 +32,7 @@ from repro.core.policy import AlwaysOnPolicy, CompressionPolicy
 from repro.core.types import Category, Level, ReadResult, WriteResult
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
+from repro.telemetry import StatScope
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,20 @@ class PTMCController(MemoryController):
         self.rekeys = 0
         self.invalidate_writes = 0
         self.clean_writebacks = 0
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose PTMC's counters (``ptmc.*``) and the LLP's (``ptmc.llp.*``)."""
+        scope.counter("inversions", lambda: self.inversions)
+        scope.counter("rekeys", lambda: self.rekeys)
+        scope.counter("invalidate_writes", lambda: self.invalidate_writes)
+        scope.counter("clean_writebacks", lambda: self.clean_writebacks)
+        scope.gauge("lit_occupancy", lambda: len(self.lit))
+        reads = scope.scope("reads")
+        for level in Level:
+            reads.counter(
+                level.name.lower(), lambda lv=level: self.reads_by_level[lv]
+            )
+        self.llp.register_stats(scope.scope("llp"))
 
     # ------------------------------------------------------------------
     # Read path (paper Fig. 7)

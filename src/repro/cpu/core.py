@@ -17,6 +17,7 @@ from typing import Deque, Iterator
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cpu.trace import TraceRecord
+from repro.telemetry import StatScope
 from repro.vm.page_table import PageTable
 
 
@@ -45,6 +46,17 @@ class CoreModel:
         self.mem_ops = 0
         self.done = False
         self._outstanding: Deque[int] = deque()
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose progress counters (``core.<id>.*`` in the registry).
+
+        ``time`` and the retirement counts only ever advance, so the
+        registry's windowed delta yields measured-phase cycles and
+        instructions directly.
+        """
+        scope.counter("cycles", lambda: self.time)
+        scope.counter("instructions", lambda: self.instructions)
+        scope.counter("mem_ops", lambda: self.mem_ops)
 
     def step(self) -> bool:
         """Issue the next trace record; returns False when the trace ends."""

@@ -19,6 +19,7 @@ from typing import Dict, List
 
 from repro.types import Category
 from repro.dram.timing import DDRTiming, DRAMGeometry
+from repro.telemetry import StatScope
 
 
 @dataclass
@@ -93,6 +94,23 @@ class DRAMSystem:
             _Channel(banks=[_Bank() for _ in range(geometry.banks_per_channel)])
             for _ in range(geometry.channels)
         ]
+
+    def register_stats(self, scope: StatScope) -> None:
+        """Expose the aggregate counters (``dram.*`` in the system registry)."""
+        stats = self.stats
+        scope.counter("row_hits", lambda: stats.row_hits)
+        scope.counter("row_misses", lambda: stats.row_misses)
+        scope.counter("activations", lambda: stats.activations)
+        scope.counter("reads", lambda: stats.reads)
+        scope.counter("writes", lambda: stats.writes)
+        scope.counter("busy_cycles", lambda: stats.busy_cycles)
+        scope.counter("refresh_stalls", lambda: stats.refresh_stalls)
+        accesses = scope.scope("accesses")
+        for category in Category:
+            accesses.counter(
+                category.value,
+                lambda c=category: stats.accesses_by_category.get(c, 0),
+            )
 
     def _after_refresh(self, start: int) -> int:
         """Push ``start`` past any overlapping refresh window.

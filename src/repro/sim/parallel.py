@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim import runner
 from repro.sim.config import SimConfig, bench_config
@@ -36,6 +36,8 @@ class BatchReport:
     """Everything a finished batch reports, in job order."""
 
     results: List[SimResult] = field(default_factory=list)
+    #: (workload name, design) identifying each result, in job order
+    job_names: List[Tuple[str, str]] = field(default_factory=list)
     #: where each result came from: "memory" | "disk" | "executed"
     sources: List[str] = field(default_factory=list)
     #: per-job wall time as observed by the process that served it
@@ -58,6 +60,13 @@ class BatchReport:
             "memory_hits": self.sources.count("memory"),
             "disk_hits": self.sources.count("disk"),
         }
+
+    def metrics_matrix(self) -> List[Dict[str, Any]]:
+        """One JSON-ready row per job: workload, design, telemetry mapping."""
+        return [
+            {"workload": w, "design": d, "metrics": dict(result.metrics)}
+            for (w, d), result in zip(self.job_names, self.results)
+        ]
 
 
 def _init_worker(cache_dir: Optional[str]) -> None:
@@ -109,6 +118,7 @@ def run_batch(
     for (workload, design), (result, source, seconds) in zip(resolved, outcomes):
         runner.adopt(cache_key(workload, design, config), result)
         report.results.append(result)
+        report.job_names.append((workload.name, design))
         report.sources.append(source)
         report.seconds.append(seconds)
     return report

@@ -8,12 +8,14 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.types import Category
 from repro.dram.system import DRAMStats
+from repro.telemetry import MetricValue
 
 #: Version of the :class:`SimResult` JSON wire format.  Bump whenever the
 #: serialized shape changes *or* when simulation semantics change enough
 #: that previously cached results must not be reused — every persisted
 #: result embeds this and the disk cache treats a mismatch as a miss.
-RESULT_SCHEMA_VERSION = 1
+#: v2: added the ``metrics`` mapping (telemetry-registry paths).
+RESULT_SCHEMA_VERSION = 2
 
 
 class ResultDecodeError(ValueError):
@@ -40,6 +42,10 @@ class SimResult:
     llp_accuracy: Optional[float] = None
     metadata_hit_rate: Optional[float] = None
     extras: Dict[str, float] = field(default_factory=dict)
+    #: measured-window telemetry keyed by registry path (``dram.row_hits``,
+    #: ``ptmc.llp.accuracy``, ...); the legacy fields above are projections
+    #: of this mapping kept for established consumers.
+    metrics: Dict[str, MetricValue] = field(default_factory=dict)
 
     @property
     def elapsed_cycles(self) -> int:
@@ -99,6 +105,7 @@ class SimResult:
             "llp_accuracy": self.llp_accuracy,
             "metadata_hit_rate": self.metadata_hit_rate,
             "extras": dict(self.extras),
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
@@ -143,6 +150,10 @@ class SimResult:
                     None if metadata_hit_rate is None else float(metadata_hit_rate)
                 ),
                 extras={str(k): float(v) for k, v in payload["extras"].items()},
+                metrics={
+                    str(k): (int(v) if isinstance(v, int) else float(v))
+                    for k, v in payload["metrics"].items()
+                },
             )
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ResultDecodeError(f"malformed result payload: {exc}") from exc

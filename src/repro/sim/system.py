@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from typing import List, Optional, Tuple
 
-from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
 from repro.core.base_controller import MemoryController
 from repro.core.ideal import IdealTMCController
 from repro.core.memzip import MemZipController
@@ -16,9 +17,11 @@ from repro.core.ptmc import PTMCController
 from repro.core.uncompressed import UncompressedController
 from repro.cpu.core import CoreModel
 from repro.dram.storage import PhysicalMemory
-from repro.dram.system import DRAMSystem
+from repro.dram.system import DRAMStats, DRAMSystem
 from repro.sim.config import SimConfig
 from repro.sim.results import SimResult
+from repro.telemetry import Metrics, StatRegistry
+from repro.types import Category
 from repro.vm.page_table import LINES_PER_PAGE, PageTable
 from repro.workloads.generators import MixWorkload, WorkloadSpec, WorkloadTraceGenerator
 
@@ -101,18 +104,7 @@ class SimulatedSystem:
         )
         hcfg = config.hierarchy
         if hcfg.num_cores != config.num_cores:
-            hcfg = HierarchyConfig(
-                num_cores=config.num_cores,
-                l1_bytes=hcfg.l1_bytes,
-                l1_ways=hcfg.l1_ways,
-                l1_latency=hcfg.l1_latency,
-                l2_bytes=hcfg.l2_bytes,
-                l2_ways=hcfg.l2_ways,
-                l2_latency=hcfg.l2_latency,
-                l3_bytes=hcfg.l3_bytes,
-                l3_ways=hcfg.l3_ways,
-                l3_latency=hcfg.l3_latency,
-            )
+            hcfg = dataclasses.replace(hcfg, num_cores=config.num_cores)
         self.hierarchy = CacheHierarchy(self.controller, hcfg, self.policy)
         total_ops = config.ops_per_core + config.warmup_ops
         self.cores = [
@@ -126,6 +118,26 @@ class SimulatedSystem:
             )
             for core in range(config.num_cores)
         ]
+        self.registry = self._build_registry()
+
+    def _build_registry(self) -> StatRegistry:
+        """One registry spanning every stat-bearing component.
+
+        Each component hangs its counters under a fixed namespace —
+        ``dram.*``, ``llc.*``, ``core.<id>.*``, ``<design>.*`` and
+        ``policy.*`` — so downstream consumers address metrics by path
+        instead of by component type.
+        """
+        registry = StatRegistry()
+        self.dram.register_stats(registry.scope("dram"))
+        self.hierarchy.register_stats(registry.scope("llc"))
+        self.controller.register_stats(registry.scope(self.controller.name))
+        if self.policy is not None:
+            self.policy.register_stats(registry.scope("policy"))
+        cores = registry.scope("core")
+        for core in self.cores:
+            core.register_stats(cores.scope(str(core.core_id)))
+        return registry
 
     def _spec_for_core(self, core_id: int) -> WorkloadSpec:
         if isinstance(self.workload, MixWorkload):
@@ -146,13 +158,13 @@ class SimulatedSystem:
     # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
-        """Event-driven run: warmup phase, stats snapshot, measured phase."""
+        """Event-driven run: warmup phase, registry snapshot, measured phase."""
         warmup = self.config.warmup_ops
         if warmup:
             self._run_phase(lambda core: core.mem_ops < warmup)
-        self._snapshot()
+        baseline = self.registry.snapshot()
         self._run_phase(None)
-        return self._collect()
+        return self._collect(self.registry.delta(baseline))
 
     def _run_phase(self, keep_running) -> None:
         """Step cores in global-time order while ``keep_running`` allows."""
@@ -168,88 +180,63 @@ class SimulatedSystem:
             if core.step() and (keep_running is None or keep_running(core)):
                 heapq.heappush(heap, (core.time, core_id))
 
-    def _snapshot(self) -> None:
-        """Record counters at the measurement boundary (end of warmup)."""
-        self._core_time0 = [core.time for core in self.cores]
-        self._core_instr0 = [core.instructions for core in self.cores]
-        stats = self.dram.stats
-        self._dram0 = {
-            "by_category": dict(stats.accesses_by_category),
-            "row_hits": stats.row_hits,
-            "row_misses": stats.row_misses,
-            "activations": stats.activations,
-            "reads": stats.reads,
-            "writes": stats.writes,
-            "busy_cycles": stats.busy_cycles,
-        }
-        self._l3_hits0 = self.hierarchy.l3.hits
-        self._l3_misses0 = self.hierarchy.l3.misses
-        self._useful0 = self.hierarchy.useful_prefetches
-        self._demand0 = self.hierarchy.demand_accesses
-        controller = self.controller
-        if isinstance(controller, PTMCController):
-            controller.llp.reset_stats()
-            self._ptmc0 = (
-                controller.inversions,
-                controller.invalidate_writes,
-                controller.clean_writebacks,
-            )
-        if isinstance(controller, MetadataTableController):
-            controller.metadata_cache.reset_stats()
+    def _measured_dram(self, metrics: Metrics) -> DRAMStats:
+        """Measured-phase DRAM statistics rebuilt from the metric paths.
 
-    def _measured_dram(self) -> "DRAMStatsDelta":
-        from repro.dram.system import DRAMStats
-
-        stats = self.dram.stats
-        base = self._dram0
-        delta = DRAMStats()
-        for category, count in stats.accesses_by_category.items():
-            measured = count - base["by_category"].get(category, 0)
+        Only categories with measured traffic are materialised, matching
+        the historical accounting.  ``refresh_stalls`` stays zero here for
+        wire-format compatibility (it was never deltaed before); the true
+        measured value is available at ``dram.refresh_stalls``.
+        """
+        delta = DRAMStats(
+            row_hits=int(metrics["dram.row_hits"]),
+            row_misses=int(metrics["dram.row_misses"]),
+            activations=int(metrics["dram.activations"]),
+            reads=int(metrics["dram.reads"]),
+            writes=int(metrics["dram.writes"]),
+            busy_cycles=int(metrics["dram.busy_cycles"]),
+        )
+        for category in Category:
+            measured = int(metrics[f"dram.accesses.{category.value}"])
             if measured:
                 delta.accesses_by_category[category] = measured
-        delta.row_hits = stats.row_hits - base["row_hits"]
-        delta.row_misses = stats.row_misses - base["row_misses"]
-        delta.activations = stats.activations - base["activations"]
-        delta.reads = stats.reads - base["reads"]
-        delta.writes = stats.writes - base["writes"]
-        delta.busy_cycles = stats.busy_cycles - base["busy_cycles"]
         return delta
 
-    def _collect(self) -> SimResult:
-        name = self.workload.name
+    def _collect(self, metrics: Metrics) -> SimResult:
+        """Shape the measured-window metrics into a :class:`SimResult`.
+
+        Every value is looked up by registry path; nothing here depends on
+        the concrete controller or policy type.
+        """
+        cores = range(self.config.num_cores)
         result = SimResult(
-            workload=name,
+            workload=self.workload.name,
             design=self.design,
-            core_cycles=[
-                core.time - t0 for core, t0 in zip(self.cores, self._core_time0)
-            ],
-            core_instructions=[
-                core.instructions - i0
-                for core, i0 in zip(self.cores, self._core_instr0)
-            ],
-            dram=self._measured_dram(),
-            l3_hits=self.hierarchy.l3.hits - self._l3_hits0,
-            l3_misses=self.hierarchy.l3.misses - self._l3_misses0,
-            useful_prefetches=self.hierarchy.useful_prefetches - self._useful0,
-            demand_accesses=self.hierarchy.demand_accesses - self._demand0,
+            core_cycles=[int(metrics[f"core.{c}.cycles"]) for c in cores],
+            core_instructions=[int(metrics[f"core.{c}.instructions"]) for c in cores],
+            dram=self._measured_dram(metrics),
+            l3_hits=int(metrics["llc.hits"]),
+            l3_misses=int(metrics["llc.misses"]),
+            useful_prefetches=int(metrics["llc.useful_prefetches"]),
+            demand_accesses=int(metrics["llc.demand_accesses"]),
+            metrics=dict(metrics),
         )
-        controller = self.controller
-        if isinstance(controller, PTMCController):
-            result.llp_accuracy = controller.llp.accuracy
-            inv0, inval0, cwb0 = self._ptmc0
-            result.extras["inversions"] = controller.inversions - inv0
-            result.extras["invalidate_writes"] = controller.invalidate_writes - inval0
-            result.extras["clean_writebacks"] = controller.clean_writebacks - cwb0
-            result.extras["lit_occupancy"] = len(controller.lit)
-        if isinstance(controller, (MetadataTableController, MemZipController)):
-            result.metadata_hit_rate = controller.metadata_hit_rate
-        if isinstance(self.policy, SamplingPolicy):
-            result.extras["policy_benefits"] = self.policy.benefits
-            result.extras["policy_costs"] = self.policy.costs
-            result.extras["compression_enabled_final"] = float(
-                sum(
-                    self.policy.enabled_for(core)
-                    for core in range(self.config.num_cores)
-                )
-            ) / self.config.num_cores
+        design = self.controller.name
+        llp_accuracy = metrics.get(f"{design}.llp.accuracy")
+        if llp_accuracy is not None:
+            result.llp_accuracy = float(llp_accuracy)
+        metadata_hit_rate = metrics.get(f"{design}.metadata_cache.hit_rate")
+        if metadata_hit_rate is not None:
+            result.metadata_hit_rate = float(metadata_hit_rate)
+        if f"{design}.inversions" in metrics:
+            result.extras["inversions"] = metrics[f"{design}.inversions"]
+            result.extras["invalidate_writes"] = metrics[f"{design}.invalidate_writes"]
+            result.extras["clean_writebacks"] = metrics[f"{design}.clean_writebacks"]
+            result.extras["lit_occupancy"] = metrics[f"{design}.lit_occupancy"]
+        if "policy.benefits" in metrics:
+            result.extras["policy_benefits"] = metrics["policy.benefits"]
+            result.extras["policy_costs"] = metrics["policy.costs"]
+            result.extras["compression_enabled_final"] = metrics[
+                "policy.compression_enabled"
+            ]
         return result

@@ -1,0 +1,24 @@
+"""Unified telemetry: one stats protocol across every simulated layer.
+
+Components own bare attribute counters on their hot paths and expose
+them by implementing ``register_stats(scope)``; the simulator wires all
+of them into one :class:`StatRegistry` under namespaced paths
+(``dram.row_hits``, ``llc.misses``, ``ptmc.llp.accuracy``) and measures
+the post-warmup phase with a single ``snapshot()``/``delta()`` pair —
+no per-component reset or delta code anywhere.
+"""
+
+from repro.telemetry.registry import Metrics, Snapshot, StatRegistry, StatScope
+from repro.telemetry.stats import Counter, Gauge, MetricValue, RatioStat, Stat
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricValue",
+    "Metrics",
+    "RatioStat",
+    "Snapshot",
+    "Stat",
+    "StatRegistry",
+    "StatScope",
+]

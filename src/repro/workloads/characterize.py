@@ -10,7 +10,6 @@ of adjacent pairs that co-compress.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.compression.base import LINE_SIZE
 from repro.compression.hybrid import HybridCompressor

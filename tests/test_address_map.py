@@ -1,6 +1,5 @@
 """Tests for the TMC address mapping (paper Fig. 3)."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

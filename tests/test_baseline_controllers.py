@@ -1,6 +1,5 @@
 """Unit tests for the baseline controllers (uncompressed, table-TMC, ideal, prefetch)."""
 
-import pytest
 
 from repro.core.ideal import IdealTMCController
 from repro.core.metadata_table import MetadataTableConfig, MetadataTableController
@@ -8,7 +7,7 @@ from repro.core.prefetch import NextLinePrefetchController
 from repro.core.uncompressed import UncompressedController
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
-from repro.types import Category, Level
+from repro.types import Level
 from tests.controller_harness import FakeLLC, category_counts, evicted
 from tests.lineutils import quad_friendly_line, random_line, zero_line
 
@@ -64,7 +63,7 @@ class TestMetadataTable:
 
     def test_compaction_updates_csi_for_all_members(self):
         ctrl = build(MetadataTableController)
-        lines = self._compact_quad(ctrl)
+        self._compact_quad(ctrl)
         for i in range(4):
             assert ctrl._csi_level(8 + i) is Level.QUAD
 

@@ -103,7 +103,7 @@ class TestStatsAndIteration:
         cache = small_cache()
         cache.fill(0, LINE)
         cache.fill(1, LINE)
-        assert {l.addr for l in cache.resident()} == {0, 1}
+        assert {line.addr for line in cache.resident()} == {0, 1}
 
     def test_hit_rate(self):
         cache = small_cache()
@@ -136,5 +136,5 @@ def test_occupancy_never_exceeds_capacity(addresses):
         cache.fill(addr, LINE)
     assert cache.occupancy() <= 8
     for s in range(cache.num_sets):
-        resident = [l for l in cache.resident() if cache.set_index(l.addr) == s]
+        resident = [line for line in cache.resident() if cache.set_index(line.addr) == s]
         assert len(resident) <= 2

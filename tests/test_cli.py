@@ -49,6 +49,25 @@ class TestCommands:
         assert "weighted speedup" in out
         assert "DRAM accesses" in out
 
+    def test_stats(self, capsys):
+        assert main(
+            ["--ops", "200", "--warmup", "100", "stats", "lbm06", "dynamic_ptmc"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dram.row_hits" in out
+        assert "ptmc.llp.accuracy" in out
+        assert "policy.benefits" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(
+            ["--ops", "200", "--warmup", "100", "stats", "lbm06", "ideal", "--json"]
+        ) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert "llc.hits" in metrics
+        assert "core.0.cycles" in metrics
+
     def test_compare(self, capsys):
         assert main(["--ops", "200", "--warmup", "100", "compare", "libquantum06"]) == 0
         out = capsys.readouterr().out
@@ -79,8 +98,43 @@ class TestCommands:
         ) == 0
         parallel_out = capsys.readouterr().out
         # the speedup table lines must be identical between the two paths
-        rows = lambda text: [l for l in text.splitlines() if l.strip().startswith(("lbm", "mcf", "cam4", "fotonik", "roms"))]
+        def rows(text):
+            prefixes = ("lbm", "mcf", "cam4", "fotonik", "roms")
+            return [ln for ln in text.splitlines() if ln.strip().startswith(prefixes)]
         assert rows(parallel_out) == rows(serial_out)
+
+    def test_sweep_dump_metrics(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "--ops", "150", "--warmup", "50",
+                "sweep", "spec17", "--designs", "ideal",
+                "--dump-metrics", str(out_path),
+            ]
+        ) == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        rows = json.loads(out_path.read_text())
+        assert rows, "expected one row per (workload, design) job"
+        for row in rows:
+            assert {"workload", "design", "metrics"} <= set(row)
+            assert "dram.row_hits" in row["metrics"]
+
+    def test_sweep_dump_metrics_stdout(self, capsys):
+        import json
+
+        assert main(
+            [
+                "--ops", "150", "--warmup", "50",
+                "sweep", "spec17", "--designs", "ideal",
+                "--dump-metrics", "-",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("[") :]
+        rows = json.loads(payload)
+        assert all("metrics" in row for row in rows)
 
     def test_sweep_rejects_unknown_design(self, capsys):
         assert main(["sweep", "spec17", "--designs", "warp_drive"]) == 2

@@ -115,6 +115,18 @@ class TestSerialization:
         with pytest.raises(ResultDecodeError):
             SimResult.from_json_dict(payload)
 
+    def test_metrics_survive_round_trip(self):
+        result = runner.simulate("lbm06", "dynamic_ptmc", CFG)
+        loaded = SimResult.from_json(result.to_json())
+        assert loaded.metrics == result.metrics
+        assert "ptmc.llp.accuracy" in loaded.metrics
+
+    def test_missing_metrics_rejected(self):
+        payload = small_result().to_json_dict()
+        del payload["metrics"]
+        with pytest.raises(ResultDecodeError):
+            SimResult.from_json_dict(payload)
+
     def test_missing_field_rejected(self):
         payload = small_result().to_json_dict()
         del payload["dram"]
@@ -137,7 +149,9 @@ class TestDiskCache:
         cache = DiskCache(tmp_path)
         result = small_result()
         cache.put("ab" * 32, result)
-        assert cache.get("ab" * 32) == result
+        loaded = cache.get("ab" * 32)
+        assert loaded == result
+        assert loaded.metrics == result.metrics
         assert cache.counters.hits == 1
         assert cache.counters.stores == 1
 

@@ -39,7 +39,7 @@ def test_example_runs(name):
 def test_example_compiles(name):
     path = EXAMPLES / name
     spec = importlib.util.spec_from_file_location(name[:-3], path)
-    module = importlib.util.module_from_spec(spec)
+    importlib.util.module_from_spec(spec)
     spec.loader.exec_module.__self__  # loader exists
     source = path.read_text()
     compile(source, str(path), "exec")

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.analysis.experiments import PAPER_EXPECTATIONS, main, render, render_experiment
 

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 
 from repro.compression.base import CompressionError
-from repro.compression.fvc import DEFAULT_FREQUENT_VALUES, FVC, train_dictionary
+from repro.compression.fvc import FVC, train_dictionary
 from tests.lineutils import any_lines, zero_line
 
 fvc = FVC()

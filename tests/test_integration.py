@@ -56,7 +56,6 @@ def test_mix_workload_data_integrity(design):
 def test_write_heavy_integrity():
     from repro.workloads.generators import spec_like
 
-    import repro.workloads.suites as suites
 
     # a pathological write-heavy, scramble-heavy spec stresses regrouping
     spec = spec_like(

@@ -7,7 +7,6 @@ import pytest
 from repro.core.memzip import MemZipConfig, MemZipController
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
-from repro.types import Category
 from tests.controller_harness import FakeLLC, category_counts, evicted
 from tests.lineutils import quad_friendly_line, random_line, zero_line
 

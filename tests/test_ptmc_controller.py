@@ -6,9 +6,9 @@ from repro.core.lit import LITPolicy
 from repro.core.markers import SlotKind, invert
 from repro.core.policy import AlwaysOffPolicy, AlwaysOnPolicy
 from repro.core.ptmc import PTMCConfig
-from repro.types import Category, Level
+from repro.types import Level
 from tests.controller_harness import FakeLLC, category_counts, evicted, make_ptmc
-from tests.lineutils import pointer_line, quad_friendly_line, small_int_line, zero_line
+from tests.lineutils import pointer_line, quad_friendly_line, zero_line
 
 
 @pytest.fixture
@@ -162,7 +162,7 @@ class TestSteadyState:
         llc = FakeLLC()
         for i in range(1, 4):
             llc.add(8 + i, lines[i], dirty=False, fill_level=Level.QUAD)
-        result = ptmc.handle_eviction(
+        ptmc.handle_eviction(
             evicted(8, scrambled, dirty=True, fill_level=Level.QUAD), 0, 0, llc
         )
         # everyone must be readable afterwards

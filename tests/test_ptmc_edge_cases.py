@@ -5,9 +5,9 @@ import pytest
 
 from repro.core.base_controller import NullLLCView
 from repro.core.markers import SlotKind
-from repro.types import Category, Level
+from repro.types import Level
 from tests.controller_harness import FakeLLC, category_counts, evicted, make_ptmc
-from tests.lineutils import pointer_line, quad_friendly_line, zero_line
+from tests.lineutils import pointer_line, quad_friendly_line
 
 NULL = NullLLCView()
 

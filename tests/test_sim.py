@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.config import SamplingConfig, SimConfig, bench_config, paper_config, quick_config
+from repro.sim.config import bench_config, paper_config, quick_config
 from repro.sim.results import SimResult, geometric_mean, normalized_bandwidth, weighted_speedup
 from repro.sim.runner import clear_cache, compare, simulate, suite_geomean, sweep
 from repro.sim.system import DESIGNS, build_controller

@@ -1,6 +1,5 @@
 """Tests for the shared types module."""
 
-import pytest
 
 from repro.types import (
     COMPRESSION_COST_CATEGORIES,

@@ -8,7 +8,6 @@ from repro.compression import HybridCompressor
 from repro.workloads import (
     ALL_64,
     GAP,
-    HIGH_MPKI,
     LOW_MPKI,
     MEMORY_INTENSIVE,
     MIXES,
