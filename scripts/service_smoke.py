@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke test for the job-queue service.
+
+Boots ``repro serve`` as a real subprocess on an ephemeral port, then:
+
+1. submits a job over HTTP and polls it to completion,
+2. asserts the served result matches a direct in-process ``simulate()``
+   (ignoring the wall-time provenance extra),
+3. re-submits the same identity and asserts it is served from the
+   shared disk cache without execution,
+4. sends SIGTERM and verifies a clean drain (exit code 0, no
+   ``running`` rows left in the job store).
+
+Run from the repo root: ``PYTHONPATH=src python scripts/service_smoke.py``.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+OPS, WARMUP = 200, 100
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    cache_dir = workdir / "simcache"
+    db_path = workdir / "service.db"
+    env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir))
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro",
+            "--ops", str(OPS), "--warmup", str(WARMUP),
+            "serve", "--port", "0", "--db", str(db_path),
+            "--workers", "2", "--drain-seconds", "30",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = daemon.stdout.readline()
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if not match:
+            fail(f"daemon did not announce its address: {line!r}")
+        url = match.group(1)
+        print(f"daemon up at {url}")
+
+        from repro.service.client import ServiceClient
+        from repro.service.jobstore import JobStore
+        from repro.sim import runner
+        from repro.sim.config import bench_config
+
+        client = ServiceClient(url)
+        if not client.healthz()["ok"]:
+            fail("healthz not ok")
+
+        job = client.submit("lbm06", "dynamic_ptmc", ops=OPS, warmup=WARMUP)
+        print(f"submitted job {job['id']}")
+        done = client.wait(job["id"], timeout=300)
+        print(f"job finished: {done['state']} [{done['source']}]")
+
+        served = client.result(job["id"]).to_json_dict()
+        direct = runner.simulate(
+            "lbm06",
+            "dynamic_ptmc",
+            bench_config(ops_per_core=OPS, warmup_ops=WARMUP),
+            use_cache=False,
+        ).to_json_dict()
+        served["extras"].pop("sim_seconds", None)
+        direct["extras"].pop("sim_seconds", None)
+        if served != direct:
+            fail("served result differs from direct simulate()")
+        print("served result matches direct simulate()")
+
+        again = client.submit("lbm06", "dynamic_ptmc", ops=OPS, warmup=WARMUP)
+        if again["state"] != "done" or again["source"] != "cache":
+            fail(f"re-submission not served from cache: {again}")
+        print("re-submission served instantly from the shared disk cache")
+
+        metrics = client.metrics()
+        for path in ("service.completed", "service.queue_depth", "runner.executed"):
+            if path not in metrics:
+                fail(f"metrics missing {path}")
+        print("metrics expose service.* and runner.* paths")
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            code = daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            fail("daemon did not drain within 60s of SIGTERM")
+        if code != 0:
+            fail(f"daemon exited {code} after SIGTERM")
+        print("daemon drained cleanly on SIGTERM")
+
+        store = JobStore(db_path)
+        try:
+            counts = store.counts()
+        finally:
+            store.close()
+        if counts["running"] != 0:
+            fail(f"running rows left behind: {counts}")
+        print(f"job store clean after shutdown: {counts}")
+        print("service smoke OK")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -9,16 +9,25 @@ Examples::
     python -m repro sweep spec06 --jobs 4      # parallel speedup matrix
     python -m repro cache stats                # on-disk result cache
 
+    python -m repro serve                      # job-queue daemon
+    python -m repro submit lbm06 dynamic_ptmc  # enqueue over HTTP
+    python -m repro wait <job-id>              # block until done
+    python -m repro result <job-id>            # fetch the SimResult
+
 Results are cached on disk (content-addressed, ``~/.cache/repro-ptmc``
 or ``$REPRO_CACHE_DIR``), so repeat invocations are near-instant; pass
 ``--no-disk-cache`` to opt out or ``repro cache clear`` to start fresh.
+The service shares that store: a submitted job whose identity is
+already cached completes instantly.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import time
 
 from repro.analysis import banner, format_metrics, format_table
 from repro.energy import relative_energy
@@ -27,6 +36,7 @@ from repro.sim.config import bench_config
 from repro.sim.diskcache import DiskCache
 from repro.sim.runner import compare, simulate
 from repro.sim.system import DESIGNS
+from repro.telemetry import StatRegistry
 from repro.workloads import ALL_64, GAP, MEMORY_INTENSIVE, MIXES, SPEC06, SPEC17, get_workload
 
 SUITES = {
@@ -93,14 +103,24 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _runner_metrics() -> dict:
+    """Process-wide runner counters as ``runner.*`` telemetry paths."""
+    registry = StatRegistry()
+    runner.register_stats(registry.scope("runner"))
+    return registry.delta()
+
+
 def cmd_stats(args) -> int:
     config = _config(args)
     result = simulate(args.workload, args.design, config)
+    runner_metrics = _runner_metrics()
     if args.json:
-        print(json.dumps(result.metrics, indent=2, sort_keys=True))
+        print(json.dumps({**result.metrics, **runner_metrics}, indent=2, sort_keys=True))
         return 0
     print(banner(f"Telemetry: {args.workload} on {args.design}"))
     print(format_metrics(result.metrics))
+    print(banner("Runner (this process)"))
+    print(format_metrics(runner_metrics))
     return 0
 
 
@@ -194,9 +214,150 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
         return 0
+    if args.action == "prune":
+        if args.older_than is None:
+            print("cache prune requires --older-than <days>")
+            return 2
+        removed = cache.prune(args.older_than * 86400.0)
+        print(
+            f"pruned {removed} cached results older than {args.older_than:g} "
+            f"days from {cache.root}"
+        )
+        return 0
     stats = cache.stats()
     print(banner("Simulation result cache"))
     print(format_table(["key", "value"], [[k, str(v)] for k, v in stats.items()]))
+    return 0
+
+
+# -- service verbs ---------------------------------------------------------
+
+
+def _client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _job_row(job: dict) -> list:
+    age = max(0.0, time.time() - job["created_at"])
+    return [
+        job["id"][:12],
+        job["workload"],
+        job["design"],
+        job["state"],
+        str(job["priority"]),
+        f"{job['attempts']}/{job['max_attempts']}",
+        f"{age:.0f}s",
+        job.get("source") or "-",
+    ]
+
+
+_JOB_COLUMNS = ["id", "workload", "design", "state", "prio", "attempts", "age", "source"]
+
+
+def cmd_serve(args) -> int:
+    from repro.service.daemon import ServiceDaemon
+
+    if args.no_disk_cache:
+        print("repro serve needs the disk cache (it is the result store); "
+              "drop --no-disk-cache")
+        return 2
+    daemon = ServiceDaemon(
+        db_path=args.db,
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        default_timeout=args.job_timeout,
+        max_attempts=args.max_attempts,
+        drain_seconds=args.drain_seconds,
+    )
+
+    def _stop(signum, frame):
+        daemon.request_stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(
+        f"repro service listening on {daemon.url} "
+        f"(db={daemon.store.path}, cache={daemon.cache.root}, "
+        f"workers={daemon.scheduler.workers})",
+        flush=True,
+    )
+    daemon.run()
+    print("repro service drained cleanly", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    client = _client(args)
+    job = client.submit(
+        args.workload,
+        args.design,
+        ops=args.ops,
+        warmup=args.warmup,
+        priority=args.priority,
+        max_attempts=args.max_attempts,
+        timeout=args.job_timeout,
+    )
+    verb = "submitted" if job["created"] else "joined"
+    print(f"{verb} job {job['id']} ({job['workload']} on {job['design']}): "
+          f"{job['state']}" + (f" [{job['source']}]" if job.get("source") else ""))
+    if args.wait:
+        return _wait_and_report(client, job["id"], args.timeout, args.poll)
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    jobs = _client(args).jobs(state=args.state, limit=args.limit)
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(format_table(_JOB_COLUMNS, [_job_row(job) for job in jobs]))
+    return 0
+
+
+def _wait_and_report(client, job_id: str, timeout, poll) -> int:
+    from repro.service.client import JobFailed, ServiceError
+
+    try:
+        job = client.wait(job_id, timeout=timeout, poll=poll)
+    except JobFailed as exc:
+        print(f"job {exc.job['id']} ended {exc.job['state']}: {exc.job.get('error')}")
+        return 1
+    except ServiceError as exc:
+        print(str(exc))
+        return 1
+    result = client.result(job["id"])
+    print(f"job {job['id']} done [{job.get('source')}]")
+    rows = [
+        ["cycles (max core)", result.elapsed_cycles],
+        ["DRAM accesses", result.total_dram_accesses],
+        ["L3 hit rate", f"{result.l3_hit_rate:.1%}"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_wait(args) -> int:
+    return _wait_and_report(_client(args), args.job_id, args.timeout, args.poll)
+
+
+def cmd_result(args) -> int:
+    client = _client(args)
+    result = client.result(args.job_id)
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+        return 0
+    print(banner(f"{result.workload} on {result.design}"))
+    print(format_metrics(result.metrics))
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    job = _client(args).cancel(args.job_id)
+    print(f"cancelled job {job['id']}")
     return 0
 
 
@@ -265,8 +426,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-run telemetry as JSON to PATH ('-' for stdout)",
     )
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache = sub.add_parser("cache", help="inspect, clear, or prune the result cache")
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
+    cache.add_argument(
+        "--older-than",
+        type=float,
+        metavar="DAYS",
+        default=None,
+        help="prune: delete entries last written more than DAYS days ago",
+    )
+
+    from repro.service.client import default_url
+    from repro.service.jobstore import default_db_path
+
+    def _service_args(p, waitable: bool = False) -> None:
+        p.add_argument(
+            "--url",
+            default=None,
+            help=f"service address (default: $REPRO_SERVICE_URL or {default_url()})",
+        )
+        if waitable:
+            p.add_argument(
+                "--timeout",
+                type=float,
+                default=None,
+                help="give up waiting after this many seconds",
+            )
+            p.add_argument(
+                "--poll",
+                type=float,
+                default=0.2,
+                help="poll interval while waiting (seconds)",
+            )
+
+    serve = sub.add_parser("serve", help="run the job-queue service daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8035, help="listen port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--db",
+        default=None,
+        help=f"job database (default: $REPRO_SERVICE_DB or {default_db_path()})",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="simulation worker processes"
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job deadline in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="default bounded retries per job",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=30.0,
+        help="grace period for in-flight jobs on SIGTERM/SIGINT",
+    )
+
+    submit = sub.add_parser("submit", help="enqueue one job on the service")
+    submit.add_argument("workload")
+    submit.add_argument("design", choices=DESIGNS)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--max-attempts", type=int, default=None)
+    submit.add_argument(
+        "--job-timeout", type=float, default=None, help="per-job deadline (seconds)"
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    _service_args(submit, waitable=True)
+
+    jobs = sub.add_parser("jobs", help="list service jobs")
+    jobs.add_argument(
+        "--state",
+        choices=["queued", "running", "done", "failed", "cancelled"],
+        default=None,
+    )
+    jobs.add_argument("--limit", type=int, default=50)
+    _service_args(jobs)
+
+    wait = sub.add_parser("wait", help="block until a job finishes")
+    wait.add_argument("job_id")
+    _service_args(wait, waitable=True)
+
+    result = sub.add_parser("result", help="fetch a finished job's result")
+    result.add_argument("job_id")
+    result.add_argument("--json", action="store_true")
+    _service_args(result)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job_id")
+    _service_args(cancel)
     return parser
 
 
@@ -284,7 +542,21 @@ def main(argv=None) -> int:
         "suite": cmd_suite,
         "sweep": cmd_sweep,
         "cache": cmd_cache,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
+        "wait": cmd_wait,
+        "result": cmd_result,
+        "cancel": cmd_cancel,
     }
+    if args.command in ("submit", "jobs", "wait", "result", "cancel"):
+        from repro.service.client import ServiceError
+
+        try:
+            return handlers[args.command](args)
+        except ServiceError as exc:
+            print(f"service error: {exc}")
+            return 1
     return handlers[args.command](args)
 
 

@@ -1,0 +1,42 @@
+"""Persistent simulation job-queue service.
+
+Turns the one-shot simulation CLI into a long-lived daemon: jobs are
+submitted over a stdlib HTTP JSON API, persisted in a SQLite
+:class:`~repro.service.jobstore.JobStore`, executed by a retrying
+process worker pool (:class:`~repro.service.scheduler.Scheduler`) built
+on the parallel sweep engine, and their results written through the
+same content-addressed disk cache the offline runner uses — so the
+service and CLI sweeps share one result store, and re-submitting a
+solved identity completes instantly.
+
+Layout:
+
+- :mod:`repro.service.jobstore` — durable queue (states, priorities,
+  dedup, crash recovery)
+- :mod:`repro.service.scheduler` — worker pool, timeouts, retry with
+  exponential backoff, graceful drain
+- :mod:`repro.service.api` — HTTP JSON routes
+- :mod:`repro.service.client` — urllib client used by the CLI verbs
+- :mod:`repro.service.daemon` — one process wiring it all together
+
+See DESIGN.md §8 for the architecture and the state machine.
+"""
+
+from repro.service.client import JobFailed, ServiceClient, ServiceError, default_url
+from repro.service.daemon import ServiceDaemon, SubmitError
+from repro.service.jobstore import Job, JobStore, default_db_path
+from repro.service.scheduler import Scheduler, ServiceStats
+
+__all__ = [
+    "Job",
+    "JobFailed",
+    "JobStore",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "ServiceStats",
+    "SubmitError",
+    "default_db_path",
+    "default_url",
+]

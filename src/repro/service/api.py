@@ -1,0 +1,181 @@
+"""Stdlib-only HTTP JSON API for the job-queue daemon.
+
+Routes (all JSON in, JSON out)::
+
+    POST   /jobs             submit {workload, design, config?, priority?,
+                             max_attempts?, timeout?} -> job (201 created,
+                             200 when joined/served-from-cache)
+    GET    /jobs             list jobs (?state=queued&limit=50)
+    GET    /jobs/<id>        one job
+    GET    /jobs/<id>/result the finished job's SimResult JSON
+    DELETE /jobs/<id>        cancel a queued job
+    GET    /healthz          liveness + queue counts
+    GET    /metrics          telemetry registry dump (service.*, runner.*)
+
+Errors are ``{"error": <message>}`` with a meaningful status: 400 for a
+bad submission, 404 unknown job, 409 for result-of-unfinished or
+cancel-of-running, 410 when a done job's cache entry was pruned.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service import jobstore
+from repro.service.daemon import SubmitError
+
+if TYPE_CHECKING:
+    from repro.service.daemon import ServiceDaemon
+
+#: Maximum accepted request body, bytes (a job submission is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ApiError(Exception):
+    """An HTTP-visible error: (status, message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the daemon; one instance per request."""
+
+    daemon_ref: "ServiceDaemon" = None  # set by make_server on the subclass
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1.0"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # quiet by default; telemetry covers observability
+
+    def _reply(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, "request body too large")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}") from None
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str], Any]:
+        """``(collection, job_id, subresource, query)`` for this request."""
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        query = parse_qs(split.query)
+        collection = parts[0] if parts else ""
+        job_id = parts[1] if len(parts) > 1 else None
+        sub = parts[2] if len(parts) > 2 else None
+        if len(parts) > 3:
+            raise ApiError(404, f"no route for {split.path!r}")
+        return collection, job_id, sub, query
+
+    def _job(self, job_id: str) -> jobstore.Job:
+        try:
+            return self.daemon_ref.store.find(job_id)
+        except KeyError as exc:
+            raise ApiError(404, str(exc)) from None
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            collection, job_id, sub, query = self._route()
+            handler = getattr(self, f"_{method}_{collection}", None)
+            if handler is None:
+                raise ApiError(404, f"no route for {method} {self.path!r}")
+            handler(job_id, sub, query)
+        except ApiError as exc:
+            self._reply(exc.status, {"error": exc.message})
+        except Exception as exc:  # noqa: BLE001 — never kill the server thread
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # -- routes ----------------------------------------------------------
+
+    def _POST_jobs(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id is not None or sub is not None:
+            raise ApiError(404, "POST only to /jobs")
+        try:
+            job, created = self.daemon_ref.submit(self._body())
+        except SubmitError as exc:
+            raise ApiError(400, str(exc)) from None
+        self._reply(201 if created else 200, {"job": job.as_dict(), "created": created})
+
+    def _GET_jobs(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id is None:
+            state = (query.get("state") or [None])[0]
+            if state is not None and state not in jobstore.STATES:
+                raise ApiError(400, f"unknown state {state!r}")
+            limit = int((query.get("limit") or ["100"])[0])
+            jobs = self.daemon_ref.store.list_jobs(state=state, limit=limit)
+            self._reply(200, {"jobs": [job.as_dict() for job in jobs]})
+            return
+        job = self._job(job_id)
+        if sub is None:
+            self._reply(200, {"job": job.as_dict()})
+            return
+        if sub != "result":
+            raise ApiError(404, f"no subresource {sub!r}")
+        if job.state != jobstore.DONE:
+            raise ApiError(409, f"job {job.id} is {job.state}, not done")
+        result = self.daemon_ref.result_for(job)
+        if result is None:
+            raise ApiError(410, f"result for job {job.id} evicted from cache; resubmit")
+        self._reply(200, {"job_id": job.id, "result": result.to_json_dict()})
+
+    def _DELETE_jobs(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id is None or sub is not None:
+            raise ApiError(404, "DELETE /jobs/<id>")
+        job = self._job(job_id)
+        if self.daemon_ref.store.cancel(job.id):
+            self.daemon_ref.stats.cancelled += 1
+            self._reply(200, {"job": self.daemon_ref.store.get(job.id).as_dict()})
+            return
+        raise ApiError(409, f"job {job.id} is {job.state}; only queued jobs cancel")
+
+    def _GET_healthz(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id is not None:
+            raise ApiError(404, "GET /healthz")
+        self._reply(200, self.daemon_ref.health())
+
+    def _GET_metrics(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id is not None:
+            raise ApiError(404, "GET /metrics")
+        self._reply(200, {"metrics": self.daemon_ref.metrics()})
+
+
+def make_server(
+    daemon: "ServiceDaemon", host: str, port: int
+) -> ThreadingHTTPServer:
+    """A threaded HTTP server bound to ``daemon`` (``port=0`` picks one)."""
+    handler = type("BoundHandler", (_Handler,), {"daemon_ref": daemon})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+__all__ = ["ApiError", "MAX_BODY_BYTES", "make_server"]

@@ -1,0 +1,160 @@
+"""urllib-based client for the job-queue daemon's HTTP API.
+
+The CLI verbs (``repro submit/jobs/result/cancel/wait``) are thin
+wrappers over :class:`ServiceClient`; scripts can use it directly::
+
+    client = ServiceClient("http://127.0.0.1:8035")
+    job = client.submit("lbm06", "dynamic_ptmc", ops=4000, warmup=6000)
+    done = client.wait(job["id"], timeout=300)
+    result = client.result(job["id"])          # a SimResult
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.sim.results import SimResult
+
+#: Environment variable naming the daemon to talk to.
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+
+#: Default daemon address (must match the CLI's ``serve`` default port).
+DEFAULT_URL = "http://127.0.0.1:8035"
+
+
+def default_url() -> str:
+    """``$REPRO_SERVICE_URL`` or the well-known local daemon address."""
+    return os.environ.get(SERVICE_URL_ENV) or DEFAULT_URL
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (or could not be reached)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class JobFailed(ServiceError):
+    """Waited-on job reached a terminal state other than ``done``."""
+
+    def __init__(self, job: Dict[str, Any]) -> None:
+        self.job = job
+        super().__init__(
+            409, f"job {job['id']} ended {job['state']}: {job.get('error')}"
+        )
+
+
+class ServiceClient:
+    """Talks JSON to one daemon; raises :class:`ServiceError` on failure."""
+
+    def __init__(self, url: Optional[str] = None, timeout: float = 10.0) -> None:
+        self.url = (url or default_url()).rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> Any:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.url}: {exc.reason}") from None
+
+    # -- verbs -----------------------------------------------------------
+
+    def submit(
+        self,
+        workload: str,
+        design: str,
+        ops: Optional[int] = None,
+        warmup: Optional[int] = None,
+        priority: int = 0,
+        max_attempts: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns the job dict (``job["created"]`` set)."""
+        config: Dict[str, Any] = {}
+        if ops is not None:
+            config["ops_per_core"] = ops
+        if warmup is not None:
+            config["warmup_ops"] = warmup
+        payload: Dict[str, Any] = {
+            "workload": workload,
+            "design": design,
+            "config": config,
+            "priority": priority,
+        }
+        if max_attempts is not None:
+            payload["max_attempts"] = max_attempts
+        if timeout is not None:
+            payload["timeout"] = timeout
+        answer = self._request("POST", "/jobs", payload)
+        job = answer["job"]
+        job["created"] = answer["created"]
+        return job
+
+    def jobs(self, state: Optional[str] = None, limit: int = 100) -> List[Dict[str, Any]]:
+        query = f"?limit={limit}" + (f"&state={state}" if state else "")
+        return self._request("GET", f"/jobs{query}")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> SimResult:
+        answer = self._request("GET", f"/jobs/{job_id}/result")
+        return SimResult.from_json_dict(answer["result"])
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")["job"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; raise :class:`JobFailed` unless done."""
+        deadline = (time.monotonic() + timeout) if timeout else None
+        while True:
+            job = self.job(job_id)
+            if job["state"] == "done":
+                return job
+            if job["state"] in ("failed", "cancelled"):
+                raise JobFailed(job)
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(408, f"timed out waiting for job {job_id}")
+            time.sleep(poll)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")["metrics"]
+
+
+__all__ = [
+    "DEFAULT_URL",
+    "JobFailed",
+    "SERVICE_URL_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "default_url",
+]

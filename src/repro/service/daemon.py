@@ -1,0 +1,236 @@
+"""One service process: job store + scheduler + HTTP front end.
+
+:class:`ServiceDaemon` owns the durable pieces (SQLite job store, the
+shared content-addressed disk cache) and the runtime pieces (scheduler
+thread-or-loop, threaded HTTP server, telemetry registry).  The CLI's
+``repro serve`` builds one and blocks in :meth:`run`; tests embed one
+in-process via :meth:`start` / :meth:`stop`.
+
+Submission — shared by the HTTP handler and any in-process caller —
+deduplicates twice:
+
+1. a result for the job's identity already in the disk cache completes
+   the job instantly (``source="cache"``), and
+2. an identical job already queued or running is joined instead of
+   duplicated (``created=False`` in the response).
+
+Telemetry registers under ``service.*`` (plus the runner's ``runner.*``
+counters) in one :class:`~repro.telemetry.StatRegistry`, surfaced as
+JSON by ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service import jobstore
+from repro.service.jobstore import Job, JobStore
+from repro.service.scheduler import Scheduler, ServiceStats
+from repro.sim import runner
+from repro.sim.config import bench_config
+from repro.sim.diskcache import DiskCache, cache_key
+from repro.sim.results import SimResult
+from repro.sim.system import DESIGNS
+from repro.telemetry import StatRegistry
+from repro.workloads.suites import get_workload
+
+#: SimConfig override keys a job submission may carry.
+ALLOWED_CONFIG_KEYS = frozenset({"ops_per_core", "warmup_ops"})
+
+
+class SubmitError(ValueError):
+    """A job submission that can never run (bad workload/design/config)."""
+
+
+class ServiceDaemon:
+    """Everything one ``repro serve`` process runs."""
+
+    def __init__(
+        self,
+        db_path=None,
+        cache_dir=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        default_timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        drain_seconds: float = 30.0,
+        backoff_base: float = 0.5,
+    ) -> None:
+        self.store = JobStore(db_path)
+        if cache_dir is not None:
+            self.cache = DiskCache(cache_dir)
+        else:
+            self.cache = runner.disk_cache() or DiskCache()
+        self.stats = ServiceStats()
+        self.max_attempts = max_attempts
+        self.scheduler = Scheduler(
+            self.store,
+            cache_dir=str(self.cache.root),
+            workers=workers,
+            default_timeout=default_timeout,
+            drain_seconds=drain_seconds,
+            backoff_base=backoff_base,
+            stats=self.stats,
+        )
+        self.registry = StatRegistry()
+        self.stats.register_stats(self.registry.scope("service"), self.store)
+        runner.register_stats(self.registry.scope("runner"))
+        self.started_at = time.time()
+        # The HTTP server imports are local so the daemon object stays
+        # usable in contexts that never open a socket (unit tests).
+        from repro.service.api import make_server
+
+        self.server = make_server(self, host, port)
+        self._http_thread: Optional[threading.Thread] = None
+        self._scheduler_thread: Optional[threading.Thread] = None
+
+    # -- addresses -------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- submission (shared by HTTP and in-process callers) --------------
+
+    def submit(self, payload: Dict[str, Any]) -> Tuple[Job, bool]:
+        """Validate and enqueue one job; returns ``(job, created)``.
+
+        Raises :class:`SubmitError` on an identity that can never
+        simulate (unknown workload/design, bad config override).
+        """
+        if not isinstance(payload, dict):
+            raise SubmitError("job payload must be a JSON object")
+        workload_name = payload.get("workload")
+        design = payload.get("design")
+        if not isinstance(workload_name, str) or not isinstance(design, str):
+            raise SubmitError("'workload' and 'design' are required strings")
+        if design not in DESIGNS:
+            raise SubmitError(f"unknown design {design!r}; choose from {DESIGNS}")
+        try:
+            workload = get_workload(workload_name)
+        except KeyError as exc:
+            raise SubmitError(str(exc)) from None
+        config_overrides = dict(payload.get("config") or {})
+        unknown = set(config_overrides) - ALLOWED_CONFIG_KEYS
+        if unknown:
+            raise SubmitError(
+                f"unsupported config overrides {sorted(unknown)}; "
+                f"allowed: {sorted(ALLOWED_CONFIG_KEYS)}"
+            )
+        try:
+            config = bench_config(**config_overrides)
+        except (TypeError, ValueError) as exc:
+            raise SubmitError(f"bad config overrides: {exc}") from None
+        priority = int(payload.get("priority", 0))
+        max_attempts = int(payload.get("max_attempts", self.max_attempts))
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+        key = cache_key(workload, design, config)
+
+        if self.cache.get(key) is not None:
+            # Identity already solved: record an instantly-done job.
+            job, created = self.store.submit(
+                workload_name,
+                design,
+                key,
+                config=config_overrides,
+                priority=priority,
+                max_attempts=max_attempts,
+                timeout=timeout,
+                state=jobstore.DONE,
+                source="cache",
+            )
+            self.stats.dedup_cache += 1
+            return job, created
+        job, created = self.store.submit(
+            workload_name,
+            design,
+            key,
+            config=config_overrides,
+            priority=priority,
+            max_attempts=max_attempts,
+            timeout=timeout,
+        )
+        if created:
+            self.stats.submitted += 1
+        else:
+            self.stats.dedup_active += 1
+        return job, created
+
+    def result_for(self, job: Job) -> Optional[SimResult]:
+        """The completed job's :class:`SimResult` from the shared cache."""
+        return self.cache.get(job.key)
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "queue": self.store.counts(),
+            "inflight": self.scheduler.inflight,
+            "workers": self.scheduler.workers,
+            "draining": self.scheduler.stopping,
+            "cache_dir": str(self.cache.root),
+            "db": str(self.store.path),
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """Current value of every registered stat (``GET /metrics``)."""
+        return self.registry.delta()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, run_scheduler: bool = True) -> None:
+        """Start HTTP (and optionally the scheduler) on background threads."""
+        self._http_thread = threading.Thread(
+            target=self.server.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._http_thread.start()
+        if run_scheduler:
+            self._scheduler_thread = threading.Thread(
+                target=self.scheduler.run, name="repro-service-scheduler", daemon=True
+            )
+            self._scheduler_thread.start()
+
+    def run(self) -> None:
+        """Blocking serve loop for the CLI: HTTP on a thread, scheduler here."""
+        self._http_thread = threading.Thread(
+            target=self.server.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._http_thread.start()
+        try:
+            self.scheduler.run()
+        finally:
+            self._stop_http()
+            self.store.close()
+
+    def request_stop(self) -> None:
+        """Signal-handler hook: begin graceful drain."""
+        self.scheduler.request_stop()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop background threads started by :meth:`start` and close up."""
+        self.scheduler.request_stop()
+        if self._scheduler_thread is not None:
+            self._scheduler_thread.join(timeout)
+            self._scheduler_thread = None
+        self._stop_http()
+        self.store.close()
+
+    def _stop_http(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+
+
+__all__ = ["ALLOWED_CONFIG_KEYS", "ServiceDaemon", "SubmitError"]

@@ -1,0 +1,405 @@
+"""SQLite-backed durable job store for the simulation service.
+
+One row per submitted simulation job.  The store is the service's only
+durable state: results themselves live in the content-addressed disk
+cache (:mod:`repro.sim.diskcache`), keyed by the same ``cache_key`` the
+offline runner uses, so the daemon and CLI sweeps share one result
+store and a job row only needs to remember its key.
+
+State machine::
+
+    queued ──claim──▶ running ──finish──▶ done
+      ▲                 │
+      │   retry/drain/  ├──fail (attempts exhausted)──▶ failed
+      └───orphan────────┘
+    queued ──cancel──▶ cancelled
+
+Identical jobs deduplicate on their cache key: a partial unique index
+over active rows guarantees at most one ``queued``/``running`` job per
+(workload, design, config) identity, and :meth:`JobStore.submit`
+returns the existing row instead of inserting a twin.
+
+The store is safe for concurrent use from the HTTP handler threads and
+the scheduler thread of one daemon process (one connection guarded by a
+lock, WAL journal, ``BEGIN IMMEDIATE`` claims).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+#: States that still occupy the dedup slot for a cache key.
+ACTIVE_STATES = (QUEUED, RUNNING)
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: Environment variable overriding the default job database location.
+SERVICE_DB_ENV = "REPRO_SERVICE_DB"
+
+
+def default_db_path() -> Path:
+    """``$REPRO_SERVICE_DB``, else ``$XDG_CACHE_HOME/repro-ptmc/service.db``."""
+    override = os.environ.get(SERVICE_DB_ENV)
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or (Path.home() / ".cache")
+    return Path(base) / "repro-ptmc" / "service.db"
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id           TEXT PRIMARY KEY,
+    key          TEXT NOT NULL,
+    workload     TEXT NOT NULL,
+    design       TEXT NOT NULL,
+    config_json  TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    state        TEXT NOT NULL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    timeout      REAL,
+    not_before   REAL NOT NULL DEFAULT 0,
+    source       TEXT,
+    error        TEXT,
+    created_at   REAL NOT NULL,
+    updated_at   REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_claim
+    ON jobs (state, not_before, priority, created_at);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_jobs_active_key
+    ON jobs (key) WHERE state IN ('queued', 'running');
+"""
+
+@dataclasses.dataclass
+class Job:
+    """One job row, as seen by the scheduler, API, and CLI."""
+
+    id: str
+    key: str
+    workload: str
+    design: str
+    config: Dict[str, Any]
+    priority: int
+    state: str
+    attempts: int
+    max_attempts: int
+    timeout: Optional[float]
+    not_before: float
+    source: Optional[str]
+    error: Optional[str]
+    created_at: float
+    updated_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (what ``GET /jobs/<id>`` returns)."""
+        return dataclasses.asdict(self)
+
+
+def _row_to_job(row: sqlite3.Row) -> Job:
+    return Job(
+        id=row["id"],
+        key=row["key"],
+        workload=row["workload"],
+        design=row["design"],
+        config=json.loads(row["config_json"]),
+        priority=row["priority"],
+        state=row["state"],
+        attempts=row["attempts"],
+        max_attempts=row["max_attempts"],
+        timeout=row["timeout"],
+        not_before=row["not_before"],
+        source=row["source"],
+        error=row["error"],
+        created_at=row["created_at"],
+        updated_at=row["updated_at"],
+        started_at=row["started_at"],
+        finished_at=row["finished_at"],
+    )
+
+
+class JobStore:
+    """Durable queue of simulation jobs in one SQLite file."""
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else default_db_path()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        workload: str,
+        design: str,
+        key: str,
+        config: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        max_attempts: int = 3,
+        timeout: Optional[float] = None,
+        state: str = QUEUED,
+        source: Optional[str] = None,
+    ) -> "tuple[Job, bool]":
+        """Insert a job, deduplicating on its cache key.
+
+        Returns ``(job, created)``: when an active (queued/running) job
+        already exists for ``key`` the existing row is returned with
+        ``created=False``.  ``state=DONE`` records an instantly-complete
+        job (the submit path found a cached result).
+        """
+        if state not in (QUEUED, DONE):
+            raise ValueError(f"jobs are submitted queued or done, not {state!r}")
+        now = time.time()
+        job_id = uuid.uuid4().hex
+        with self._lock:
+            if state == QUEUED:
+                existing = self._conn.execute(
+                    "SELECT * FROM jobs WHERE key = ? AND state IN (?, ?)",
+                    (key, QUEUED, RUNNING),
+                ).fetchone()
+                if existing is not None:
+                    return _row_to_job(existing), False
+            self._conn.execute(
+                "INSERT INTO jobs (id, key, workload, design, config_json, "
+                "priority, state, attempts, max_attempts, timeout, not_before, "
+                "source, created_at, updated_at, finished_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, 0, ?, ?, 0, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    key,
+                    workload,
+                    design,
+                    json.dumps(config or {}, sort_keys=True),
+                    priority,
+                    state,
+                    max_attempts,
+                    timeout,
+                    source,
+                    now,
+                    now,
+                    now if state == DONE else None,
+                ),
+            )
+            self._conn.commit()
+        return self.get(job_id), True
+
+    # -- scheduler side --------------------------------------------------
+
+    def claim(self, now: Optional[float] = None) -> Optional[Job]:
+        """Atomically move the best eligible queued job to ``running``.
+
+        Eligibility honours backoff (``not_before``); ordering is
+        priority (higher first), then FIFO on submission time.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT id FROM jobs WHERE state = ? AND not_before <= ? "
+                    "ORDER BY priority DESC, created_at ASC, id ASC LIMIT 1",
+                    (QUEUED, now),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("ROLLBACK")
+                    return None
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, attempts = attempts + 1, "
+                    "started_at = ?, updated_at = ? WHERE id = ?",
+                    (RUNNING, now, now, row["id"]),
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            return self.get(row["id"])
+
+    def finish(self, job_id: str, source: str) -> None:
+        """``running -> done`` (result already persisted in the disk cache)."""
+        self._transition(job_id, RUNNING, DONE, source=source)
+
+    def fail(
+        self,
+        job_id: str,
+        error: str,
+        retry_delay: Optional[float] = None,
+    ) -> None:
+        """``running -> failed``, or back to ``queued`` after ``retry_delay``."""
+        now = time.time()
+        with self._lock:
+            if retry_delay is None:
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, error = ?, updated_at = ?, "
+                    "finished_at = ? WHERE id = ? AND state = ?",
+                    (FAILED, error, now, now, job_id, RUNNING),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, error = ?, not_before = ?, "
+                    "updated_at = ? WHERE id = ? AND state = ?",
+                    (QUEUED, error, now + retry_delay, now, job_id, RUNNING),
+                )
+            self._conn.commit()
+
+    def requeue(self, job_id: str, refund_attempt: bool = False) -> None:
+        """``running -> queued`` (graceful drain; optionally refund the claim)."""
+        now = time.time()
+        refund = 1 if refund_attempt else 0
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, not_before = 0, started_at = NULL, "
+                "attempts = MAX(attempts - ?, 0), updated_at = ? "
+                "WHERE id = ? AND state = ?",
+                (QUEUED, refund, now, job_id, RUNNING),
+            )
+            self._conn.commit()
+
+    def recover_orphans(self) -> List[Job]:
+        """Re-queue every ``running`` job (crash recovery at daemon boot).
+
+        Unlike a graceful drain, the claim's attempt is *not* refunded —
+        a job that keeps crashing the daemon must still exhaust its
+        bounded retries instead of looping forever.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = ?", (RUNNING,)
+            ).fetchall()
+            ids = [row["id"] for row in rows]
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, not_before = 0, started_at = NULL, "
+                "updated_at = ? WHERE state = ?",
+                (QUEUED, now, RUNNING),
+            )
+            self._conn.commit()
+        return [self.get(job_id) for job_id in ids]
+
+    # -- client side -----------------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running/terminal jobs are left alone."""
+        now = time.time()
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state = ?, updated_at = ?, finished_at = ? "
+                "WHERE id = ? AND state = ?",
+                (CANCELLED, now, now, job_id, QUEUED),
+            )
+            self._conn.commit()
+            return cur.rowcount > 0
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"no job {job_id!r}")
+        return _row_to_job(row)
+
+    def find(self, job_id_prefix: str) -> Job:
+        """Exact-id lookup, falling back to a unique id prefix (CLI sugar)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ? OR id LIKE ? LIMIT 3",
+                (job_id_prefix, job_id_prefix + "%"),
+            ).fetchall()
+        if not rows:
+            raise KeyError(f"no job {job_id_prefix!r}")
+        if len(rows) > 1:
+            raise KeyError(f"ambiguous job id prefix {job_id_prefix!r}")
+        return _row_to_job(rows[0])
+
+    def list_jobs(
+        self, state: Optional[str] = None, limit: int = 100
+    ) -> List[Job]:
+        """Most recently updated first, optionally filtered by state."""
+        with self._lock:
+            if state is None:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs ORDER BY updated_at DESC LIMIT ?",
+                    (limit,),
+                ).fetchall()
+            else:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs WHERE state = ? "
+                    "ORDER BY updated_at DESC LIMIT ?",
+                    (state, limit),
+                ).fetchall()
+        return [_row_to_job(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Row count per state (zero-filled over all states)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    # -- internals -------------------------------------------------------
+
+    def _transition(
+        self, job_id: str, from_state: str, to_state: str, source: Optional[str]
+    ) -> None:
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, source = ?, updated_at = ?, "
+                "finished_at = ? WHERE id = ? AND state = ?",
+                (to_state, source, now, now, job_id, from_state),
+            )
+            self._conn.commit()
+
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "SERVICE_DB_ENV",
+    "STATES",
+    "TERMINAL_STATES",
+    "default_db_path",
+]

@@ -1,0 +1,248 @@
+"""The service's execution engine: a retrying worker pool over the queue.
+
+The :class:`Scheduler` claims jobs from the :class:`~repro.service.jobstore.JobStore`
+and runs them on a :class:`~concurrent.futures.ProcessPoolExecutor`
+built from the same primitives as the offline sweep engine
+(:func:`repro.sim.parallel.init_worker` / :func:`repro.sim.parallel.run_job`),
+so every worker writes through the shared content-addressed disk cache.
+
+Policies, in one place:
+
+- **Retry with exponential backoff.**  A failed attempt re-queues the
+  job with ``not_before = now + base * factor**(attempts-1)`` (capped)
+  until ``max_attempts`` is exhausted, then the job is ``failed`` with
+  its last error recorded.
+- **Per-job timeout.**  A job past its deadline is treated as a failed
+  attempt; the worker pool is torn down (terminating the stuck process)
+  and rebuilt, and any innocent-bystander jobs in flight are re-queued
+  with their claim refunded.
+- **Crash-orphan recovery.**  At startup every ``running`` row left by
+  a crashed daemon is re-queued (attempts kept — see
+  :meth:`~repro.service.jobstore.JobStore.recover_orphans`).
+- **Graceful drain.**  ``request_stop()`` (wired to SIGTERM/SIGINT by
+  the CLI) stops claiming, waits up to ``drain_seconds`` for in-flight
+  jobs to finish, re-queues (with refund) whatever is still running,
+  and leaves the store with no ``running`` rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.service import jobstore
+from repro.service.jobstore import Job, JobStore
+from repro.sim import parallel
+from repro.sim.config import SimConfig, bench_config
+from repro.telemetry import StatScope
+from repro.workloads.suites import get_workload
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Process-wide service counters (mirrors the runner's ``RunnerStats``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    #: submissions that joined an already-active identical job
+    dedup_active: int = 0
+    #: submissions served instantly from the shared disk cache
+    dedup_cache: int = 0
+    orphans_recovered: int = 0
+    drain_requeued: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def register_stats(self, scope: StatScope, store: JobStore) -> None:
+        """Expose service counters plus queue-depth gauges under ``scope``."""
+        for name in self.as_dict():
+            scope.counter(name, (lambda n=name: getattr(self, n)))
+        scope.gauge("queue_depth", lambda: store.counts()[jobstore.QUEUED])
+        scope.gauge("running", lambda: store.counts()[jobstore.RUNNING])
+
+
+def job_config(job: Job) -> SimConfig:
+    """The resolved :class:`SimConfig` for one job's stored overrides."""
+    return bench_config(**job.config)
+
+
+class Scheduler:
+    """Drives queued jobs through a process worker pool until stopped."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache_dir: Optional[str],
+        workers: int = 2,
+        default_timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+        backoff_base: float = 0.5,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 60.0,
+        drain_seconds: float = 30.0,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        self.store = store
+        self.cache_dir = cache_dir
+        self.workers = max(1, workers)
+        self.default_timeout = default_timeout
+        self.poll_interval = poll_interval
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.drain_seconds = drain_seconds
+        self.stats = stats or ServiceStats()
+        self._stop = threading.Event()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: job id -> (job, future, absolute deadline or None)
+        self._inflight: Dict[str, Tuple[Job, Future, Optional[float]]] = {}
+
+    # -- control ---------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the run loop to drain and exit (signal-handler safe)."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> None:
+        """Block, executing jobs until :meth:`request_stop`; then drain."""
+        orphans = self.store.recover_orphans()
+        self.stats.orphans_recovered += len(orphans)
+        self._pool = self._new_pool()
+        try:
+            while not self._stop.is_set():
+                progressed = self._reap()
+                progressed |= self._dispatch()
+                if not progressed:
+                    self._stop.wait(self.poll_interval)
+            self._drain()
+        finally:
+            self._shutdown_pool()
+
+    # -- pool management -------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=parallel.init_worker,
+            initargs=(self.cache_dir,),
+        )
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _kill_pool(self) -> None:
+        """Terminate worker processes (the only way to stop a stuck job)."""
+        if self._pool is None:
+            return
+        for process in list(getattr(self._pool, "_processes", {}).values()):
+            process.terminate()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
+    # -- dispatch/reap ---------------------------------------------------
+
+    def _dispatch(self) -> bool:
+        dispatched = False
+        while len(self._inflight) < self.workers:
+            job = self.store.claim()
+            if job is None:
+                break
+            dispatched = True
+            try:
+                workload = get_workload(job.workload)
+                config = job_config(job)
+            except (KeyError, TypeError, ValueError) as exc:
+                # Unresolvable identity can never succeed: fail terminally.
+                self.store.fail(job.id, f"invalid job: {exc}")
+                self.stats.failed += 1
+                continue
+            future = self._pool.submit(parallel.run_job, (workload, job.design, config))
+            timeout = job.timeout if job.timeout is not None else self.default_timeout
+            deadline = (time.time() + timeout) if timeout else None
+            self._inflight[job.id] = (job, future, deadline)
+        return dispatched
+
+    def _reap(self) -> bool:
+        """Harvest finished futures and enforce deadlines."""
+        progressed = False
+        now = time.time()
+        timed_out: Optional[Tuple[Job, Future]] = None
+        for job_id, (job, future, deadline) in list(self._inflight.items()):
+            if future.done():
+                del self._inflight[job_id]
+                progressed = True
+                try:
+                    result, source, _seconds = future.result()
+                except Exception as exc:  # noqa: BLE001 — worker error is data
+                    self._record_failure(job, f"{type(exc).__name__}: {exc}")
+                else:
+                    del result  # persisted by the worker via the disk cache
+                    self.store.finish(job_id, source)
+                    self.stats.completed += 1
+            elif deadline is not None and now > deadline:
+                timed_out = (job, future)
+        if timed_out is not None:
+            self._on_timeout(*timed_out)
+            progressed = True
+        return progressed
+
+    def _on_timeout(self, job: Job, future: Future) -> None:
+        """Kill the pool (stuck worker), requeue bystanders, rebuild."""
+        self.stats.timeouts += 1
+        self._kill_pool()
+        for other_id, (other, _future, _deadline) in list(self._inflight.items()):
+            if other_id != job.id:
+                self.store.requeue(other_id, refund_attempt=True)
+        self._inflight.clear()
+        self._record_failure(job, "timeout: job exceeded its deadline")
+        self._pool = self._new_pool()
+
+    def _record_failure(self, job: Job, error: str) -> None:
+        if job.attempts < job.max_attempts:
+            delay = min(
+                self.backoff_base * self.backoff_factor ** (job.attempts - 1),
+                self.backoff_max,
+            )
+            self.store.fail(job.id, error, retry_delay=delay)
+            self.stats.retried += 1
+        else:
+            self.store.fail(job.id, error)
+            self.stats.failed += 1
+
+    # -- drain -----------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Finish or re-queue in-flight work; leave no ``running`` rows."""
+        deadline = time.time() + self.drain_seconds
+        while self._inflight and time.time() < deadline:
+            if not self._reap():
+                time.sleep(self.poll_interval)
+        if self._inflight:
+            self._kill_pool()
+            for job_id in list(self._inflight):
+                self.store.requeue(job_id, refund_attempt=True)
+                self.stats.drain_requeued += 1
+            self._inflight.clear()
+
+
+__all__ = ["Scheduler", "ServiceStats", "job_config"]

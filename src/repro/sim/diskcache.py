@@ -23,14 +23,21 @@ version-mismatched files are discarded and treated as misses.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+try:  # advisory write locking (POSIX); harmless to run without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.sim.results import ResultDecodeError, SimResult
 
@@ -174,23 +181,48 @@ class DiskCache:
         self.counters.hits += 1
         return result
 
+    @contextlib.contextmanager
+    def _write_lock(self, key: str):
+        """Advisory per-key write lock (no-op where ``fcntl`` is missing).
+
+        Writes are already crash-safe — each writer stages its own temp
+        file and ``os.replace``s it into place atomically — so the lock
+        only *serialises* concurrent writers of one key (service workers
+        racing a CLI sweep), guaranteeing the surviving entry is one
+        writer's complete output rather than relying on rename ordering.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self._path(key).with_suffix(".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
     def put(self, key: str, result: SimResult) -> None:
-        """Persist ``result`` under ``key`` (atomic, last writer wins)."""
+        """Persist ``result`` under ``key`` (atomic, locked, last writer wins)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(result.to_json())
-            os.replace(tmp_name, path)
-        except BaseException:
+        with self._write_lock(key):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json.tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(result.to_json())
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         self.counters.stores += 1
 
     # -- maintenance -----------------------------------------------------
@@ -215,14 +247,56 @@ class DiskCache:
                 removed += 1
             except OSError:
                 pass
+            self._remove_lock(path)
         return removed
+
+    def entry_ages(self) -> Optional[Tuple[float, float]]:
+        """``(oldest, newest)`` entry age in seconds, or ``None`` if empty."""
+        now = time.time()
+        ages = []
+        for path in self._entry_paths():
+            try:
+                ages.append(now - path.stat().st_mtime)
+            except OSError:
+                pass
+        if not ages:
+            return None
+        return max(ages), min(ages)
+
+    def prune(self, older_than_seconds: float) -> int:
+        """Delete entries last written more than ``older_than_seconds`` ago.
+
+        Long-running service hosts call this (``repro cache prune``) to
+        bound the shared result store; pruned identities simply
+        re-simulate on next request.
+        """
+        cutoff = time.time() - older_than_seconds
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+                    self._remove_lock(path)
+            except OSError:
+                pass
+        return removed
+
+    def _remove_lock(self, entry_path: Path) -> None:
+        try:
+            entry_path.with_suffix(".lock").unlink()
+        except OSError:
+            pass
 
     def stats(self) -> Dict[str, Any]:
         """Everything ``repro cache stats`` reports."""
+        ages = self.entry_ages()
         return {
             "dir": str(self.root),
             "entries": len(self),
             "bytes": self.size_bytes(),
+            "oldest_age_seconds": round(ages[0], 3) if ages else None,
+            "newest_age_seconds": round(ages[1], 3) if ages else None,
             **self.counters.as_dict(),
         }
 

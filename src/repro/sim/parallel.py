@@ -69,13 +69,22 @@ class BatchReport:
         ]
 
 
-def _init_worker(cache_dir: Optional[str]) -> None:
-    """Pool initializer: point the worker at the shared disk cache."""
+def init_worker(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker at the shared disk cache.
+
+    Public because the job-queue service (:mod:`repro.service`) builds
+    its own worker pool from the same primitives.
+    """
     if cache_dir is not None:
         runner.configure_disk_cache(cache_dir)
 
 
-def _run_job(job: Tuple[Workload, str, SimConfig]) -> Tuple[SimResult, str, float]:
+def run_job(job: Tuple[Workload, str, SimConfig]) -> Tuple[SimResult, str, float]:
+    """Execute one (workload, design, config) task in this process.
+
+    Returns ``(result, source, seconds)`` where ``source`` is the
+    runner's provenance string (``"memory"`` | ``"disk"`` | ``"executed"``).
+    """
     workload, design, config = job
     start = time.perf_counter()
     result, source = runner.simulate_with_source(workload, design, config)
@@ -106,14 +115,14 @@ def run_batch(
     report = BatchReport(jobs_used=max(1, jobs or 1))
     start = time.perf_counter()
     if report.jobs_used <= 1:
-        outcomes = [_run_job((w, d, config)) for w, d in resolved]
+        outcomes = [run_job((w, d, config)) for w, d in resolved]
     else:
         with ProcessPoolExecutor(
             max_workers=report.jobs_used,
-            initializer=_init_worker,
+            initializer=init_worker,
             initargs=(cache_dir,),
         ) as pool:
-            outcomes = list(pool.map(_run_job, [(w, d, config) for w, d in resolved]))
+            outcomes = list(pool.map(run_job, [(w, d, config) for w, d in resolved]))
     report.wall_seconds = time.perf_counter() - start
     for (workload, design), (result, source, seconds) in zip(resolved, outcomes):
         runner.adopt(cache_key(workload, design, config), result)
@@ -177,7 +186,9 @@ def suite_geomean(
 __all__ = [
     "BatchReport",
     "Job",
+    "init_worker",
     "run_batch",
+    "run_job",
     "suite_geomean",
     "sweep",
     "sweep_with_report",

@@ -212,6 +212,34 @@ def execution_stats() -> Dict[str, float]:
     return payload
 
 
+def register_stats(scope) -> None:
+    """Expose the process-wide runner counters under ``scope``.
+
+    Registers the same counts :func:`execution_stats` reports — cache
+    layer hits and executions, plus the disk cache's own counters —
+    as sourced telemetry stats, so ``repro stats`` and the service's
+    ``/metrics`` endpoint surface them uniformly as ``runner.*`` paths.
+    The disk-cache sources read :func:`disk_cache` dynamically, so a
+    later :func:`configure_disk_cache` is picked up without
+    re-registering.
+    """
+    scope.counter("executed", lambda: stats.executed, doc="simulations executed")
+    scope.counter("memory_hits", lambda: stats.memory_hits, doc="in-process memo hits")
+    scope.counter("disk_hits", lambda: stats.disk_hits, doc="disk-cache hits")
+    scope.gauge(
+        "sim_seconds",
+        lambda: round(stats.sim_seconds, 6),
+        doc="total wall time spent executing simulations",
+    )
+    disk_scope = scope.scope("disk")
+
+    def _disk_counter(name: str):
+        return lambda: getattr(_disk.counters, name) if _disk is not None else 0
+
+    for name in ("hits", "misses", "stores", "evicted_corrupt"):
+        disk_scope.counter(name, _disk_counter(name), doc=f"disk cache {name}")
+
+
 __all__ = [
     "DESIGNS",
     "RunnerStats",
@@ -221,6 +249,7 @@ __all__ = [
     "configure_disk_cache",
     "disk_cache",
     "execution_stats",
+    "register_stats",
     "resolve_workload",
     "simulate",
     "simulate_with_source",

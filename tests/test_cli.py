@@ -149,3 +149,90 @@ class TestCommands:
         assert main(["cache", "clear"]) == 0
         out = capsys.readouterr().out
         assert "removed" in out
+
+
+class TestRunnerTelemetrySatellite:
+    def test_stats_reports_runner_counters(self, capsys):
+        assert main(
+            ["--ops", "200", "--warmup", "100", "stats", "lbm06", "ideal"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "runner.executed" in out
+        assert "runner.disk.stores" in out
+
+    def test_stats_json_merges_runner_paths(self, capsys):
+        import json
+
+        assert main(
+            ["--ops", "200", "--warmup", "100", "stats", "lbm06", "ideal", "--json"]
+        ) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert metrics["runner.executed"] >= 1
+        assert "runner.memory_hits" in metrics
+        assert "runner.disk.hits" in metrics
+
+
+class TestCachePrune:
+    def test_prune_requires_older_than(self, capsys):
+        assert main(["cache", "prune"]) == 2
+        assert "--older-than" in capsys.readouterr().out
+
+    def test_prune_reports_age_cutoff(self, capsys):
+        import os
+
+        assert main(["--ops", "150", "--warmup", "50", "run", "lbm06", "ideal"]) == 0
+        capsys.readouterr()
+        cache = runner.disk_cache()
+        for path in cache.root.glob("*/*.json"):
+            os.utime(path, (1, 1))
+        assert main(["cache", "prune", "--older-than", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert len(cache) == 0
+
+    def test_stats_show_entry_ages(self, capsys):
+        assert main(["--ops", "150", "--warmup", "50", "run", "lbm06", "ideal"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "oldest_age_seconds" in out
+        assert "newest_age_seconds" in out
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8035
+        assert args.workers == 2
+        assert args.max_attempts == 3
+        assert args.drain_seconds == 30.0
+
+    def test_submit_args(self):
+        args = build_parser().parse_args(
+            ["submit", "lbm06", "dynamic_ptmc", "--priority", "4", "--wait"]
+        )
+        assert args.command == "submit"
+        assert args.workload == "lbm06"
+        assert args.priority == 4
+        assert args.wait
+
+    def test_submit_rejects_unknown_design(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "lbm06", "warp_drive"])
+
+    def test_jobs_state_filter(self):
+        args = build_parser().parse_args(["jobs", "--state", "queued"])
+        assert args.state == "queued"
+
+    def test_wait_and_result_and_cancel(self):
+        for verb in ("wait", "result", "cancel"):
+            args = build_parser().parse_args([verb, "abc123"])
+            assert args.command == verb
+            assert args.job_id == "abc123"
+
+    def test_unreachable_service_is_an_error_not_a_crash(self, capsys):
+        assert main(["jobs", "--url", "http://127.0.0.1:1"]) == 1
+        assert "service error" in capsys.readouterr().out

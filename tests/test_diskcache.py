@@ -200,3 +200,102 @@ class TestDiskCache:
         assert src_second == "disk"
         assert second == first
         assert second is not first
+
+
+class TestConcurrentWriters:
+    def test_two_writers_racing_on_one_key(self, tmp_path):
+        """Concurrent service workers and CLI sweeps share one store: a
+        key written by many racers must end up as one writer's complete,
+        decodable entry — never an interleaving of partial writes."""
+        import threading
+
+        cache = DiskCache(tmp_path)
+        key = "ef" * 32
+        variants = [
+            small_result(extras={"writer": float(i)}) for i in range(4)
+        ]
+        errors = []
+        barrier = threading.Barrier(len(variants))
+
+        def race(result):
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(25):
+                    DiskCache(tmp_path).put(key, result)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race, args=(v,)) for v in variants]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors
+        survivor = cache.get(key)
+        assert survivor is not None
+        assert survivor.extras["writer"] in {v.extras["writer"] for v in variants}
+        assert cache.counters.evicted_corrupt == 0
+
+    def test_interleaved_put_get_never_sees_partials(self, tmp_path):
+        import threading
+
+        key = "aa" * 32
+        result = small_result()
+        stop = threading.Event()
+        outcomes = []
+
+        def writer():
+            while not stop.is_set():
+                DiskCache(tmp_path).put(key, result)
+
+        def reader():
+            cache = DiskCache(tmp_path)
+            while not stop.is_set():
+                loaded = cache.get(key)
+                if loaded is not None:
+                    outcomes.append(loaded == result)
+            stop.set()
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        import time as _time
+
+        _time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(30)
+        assert outcomes and all(outcomes)
+
+
+class TestMaintenance:
+    def test_stats_report_entry_ages(self, tmp_path):
+        import os
+        import time as _time
+
+        cache = DiskCache(tmp_path)
+        assert cache.stats()["oldest_age_seconds"] is None
+        cache.put("ab" * 32, small_result())
+        cache.put("cd" * 32, small_result())
+        old = tmp_path / ("ab" * 32)[:2] / f"{'ab' * 32}.json"
+        os.utime(old, (1, 1))  # epoch-old entry
+        stats = cache.stats()
+        assert stats["oldest_age_seconds"] > _time.time() - 100
+        assert 0 <= stats["newest_age_seconds"] < 120
+        assert stats["oldest_age_seconds"] >= stats["newest_age_seconds"]
+
+    def test_prune_removes_only_old_entries(self, tmp_path):
+        import os
+
+        cache = DiskCache(tmp_path)
+        old_key, new_key = "ab" * 32, "cd" * 32
+        cache.put(old_key, small_result())
+        cache.put(new_key, small_result())
+        os.utime(tmp_path / old_key[:2] / f"{old_key}.json", (1, 1))
+        assert cache.prune(older_than_seconds=86400) == 1
+        assert cache.get(old_key) is None
+        assert cache.get(new_key) is not None
+
+    def test_prune_empty_cache_is_noop(self, tmp_path):
+        assert DiskCache(tmp_path).prune(0) == 0

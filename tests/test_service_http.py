@@ -1,0 +1,175 @@
+"""End-to-end tests over the service's HTTP API.
+
+A real daemon (HTTP server + scheduler threads + SQLite store + disk
+cache) is booted on an ephemeral port inside the test process and
+driven through :class:`repro.service.client.ServiceClient` — the same
+path the CLI verbs use.
+"""
+
+import pytest
+
+from repro.service import jobstore
+from repro.service.client import JobFailed, ServiceClient, ServiceError
+from repro.service.daemon import ServiceDaemon
+from repro.sim import runner
+from repro.sim.config import bench_config
+
+OPS, WARMUP = 200, 100
+CFG = bench_config(ops_per_core=OPS, warmup_ops=WARMUP)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runner(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    runner.clear_cache()
+    runner.configure_disk_cache(enabled=False)
+    yield
+    runner.clear_cache()
+    runner.configure_disk_cache(enabled=False)
+
+
+def make_daemon(tmp_path, run_scheduler=True, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("drain_seconds", 30.0)
+    daemon = ServiceDaemon(
+        db_path=tmp_path / "service.db",
+        cache_dir=tmp_path / "simcache",
+        host="127.0.0.1",
+        port=0,
+        **kwargs,
+    )
+    daemon.start(run_scheduler=run_scheduler)
+    return daemon
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = make_daemon(tmp_path)
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def paused_daemon(tmp_path):
+    """HTTP up, scheduler off: queued jobs stay queued."""
+    d = make_daemon(tmp_path, run_scheduler=False)
+    yield d
+    d.stop()
+
+
+def comparable(result) -> dict:
+    payload = result.to_json_dict()
+    payload["extras"].pop("sim_seconds", None)  # wall time is not identity
+    return payload
+
+
+class TestRoundTrip:
+    def test_submit_wait_result_matches_direct_simulate(self, daemon):
+        client = ServiceClient(daemon.url)
+        job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        assert job["created"] and job["state"] == jobstore.QUEUED
+        done = client.wait(job["id"], timeout=120)
+        assert done["state"] == jobstore.DONE
+        assert done["source"] == "executed"
+        served = client.result(job["id"])
+        direct = runner.simulate("lbm06", "ideal", CFG, use_cache=False)
+        assert comparable(served) == comparable(direct)
+
+    def test_resubmitted_identity_served_from_cache(self, daemon):
+        client = ServiceClient(daemon.url)
+        job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        client.wait(job["id"], timeout=120)
+        executed_before = daemon.stats.completed
+        again = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        # a new job row, but complete on arrival — nothing to execute
+        assert again["id"] != job["id"]
+        assert again["state"] == jobstore.DONE
+        assert again["source"] == "cache"
+        assert daemon.stats.dedup_cache == 1
+        assert daemon.stats.completed == executed_before
+        assert comparable(client.result(again["id"])) == comparable(
+            client.result(job["id"])
+        )
+
+    def test_restart_recovers_orphaned_job(self, tmp_path):
+        # Daemon 1 "crashes" with the job claimed (running row left behind).
+        first = make_daemon(tmp_path, run_scheduler=False)
+        client = ServiceClient(first.url)
+        job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        assert first.store.claim() is not None
+        assert first.store.counts()[jobstore.RUNNING] == 1
+        first.stop()
+        # Daemon 2 on the same store recovers and completes it.
+        second = make_daemon(tmp_path)
+        try:
+            done = ServiceClient(second.url).wait(job["id"], timeout=120)
+            assert done["state"] == jobstore.DONE
+            assert second.stats.orphans_recovered == 1
+            assert second.store.counts()[jobstore.RUNNING] == 0
+        finally:
+            second.stop()
+
+
+class TestApiSurface:
+    def test_dedup_joins_active_job(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        first = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        second = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        assert second["id"] == first["id"]
+        assert first["created"] and not second["created"]
+        assert paused_daemon.stats.dedup_active == 1
+
+    def test_jobs_listing_and_state_filter(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        client.submit("mcf06", "ideal", ops=OPS, warmup=WARMUP)
+        assert len(client.jobs()) == 2
+        assert len(client.jobs(state="queued")) == 2
+        assert client.jobs(state="done") == []
+
+    def test_cancel_then_wait_reports_failure(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] == jobstore.CANCELLED
+        with pytest.raises(JobFailed):
+            client.wait(job["id"], timeout=5)
+
+    def test_result_of_unfinished_job_conflicts(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        with pytest.raises(ServiceError) as err:
+            client.result(job["id"])
+        assert err.value.status == 409
+
+    def test_unknown_job_is_404(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        with pytest.raises(ServiceError) as err:
+            client.job("deadbeef")
+        assert err.value.status == 404
+
+    def test_bad_submissions_are_400(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit("lbm06", "warp_drive")
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.submit("no_such_workload", "ideal")
+        assert err.value.status == 400
+
+    def test_healthz(self, paused_daemon):
+        health = ServiceClient(paused_daemon.url).healthz()
+        assert health["ok"] is True
+        assert set(jobstore.STATES) <= set(health["queue"])
+        assert health["workers"] == 2
+
+    def test_metrics_exposes_service_and_runner_paths(self, daemon):
+        client = ServiceClient(daemon.url)
+        job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        client.wait(job["id"], timeout=120)
+        metrics = client.metrics()
+        assert metrics["service.completed"] == 1
+        assert metrics["service.queue_depth"] == 0
+        # the runner satellite: execution counters share the registry
+        assert "runner.executed" in metrics
+        assert "runner.disk.stores" in metrics
