@@ -50,7 +50,8 @@ def pytest_terminal_summary(terminalreporter):
     terminalreporter.write_line(
         f"sim result cache [{CACHE_DIR}]: {stats['executed']:.0f} executed "
         f"({stats['sim_seconds']:.1f}s), {stats['disk_hits']:.0f} disk hits, "
-        f"{stats['memory_hits']:.0f} memory hits"
+        f"{stats['memory_hits']:.0f} memory hits "
+        f"({stats['hit_seconds']:.2f}s serving replays)"
     )
 
 

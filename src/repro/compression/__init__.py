@@ -5,6 +5,11 @@ payloads; see :mod:`repro.compression.base` for the interface.
 """
 
 from repro.compression.base import LINE_SIZE, CompressionAlgorithm, CompressionError
+from repro.compression.batch import (
+    BatchCompressor,
+    array_to_lines,
+    lines_to_array,
+)
 from repro.compression.bdi import BDI
 from repro.compression.cpack import CPack
 from repro.compression.fpc import FPC
@@ -16,6 +21,7 @@ __all__ = [
     "LINE_SIZE",
     "CompressionAlgorithm",
     "CompressionError",
+    "BatchCompressor",
     "BDI",
     "CPack",
     "FPC",
@@ -24,4 +30,6 @@ __all__ = [
     "train_dictionary",
     "HybridCompressor",
     "ZeroLine",
+    "array_to_lines",
+    "lines_to_array",
 ]

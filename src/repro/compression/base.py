@@ -7,12 +7,24 @@ inside the compressed line and charges them against its size).
 
 ``compress`` returns ``None`` when the algorithm cannot beat the original
 size; callers treat that as "store uncompressed".
+
+Two query shapes exist on top of ``compress``:
+
+- :meth:`CompressionAlgorithm.compress_and_size` — the single-compression
+  path for callers that need both the payload and its charged size
+  (controllers previously called ``compress`` + ``compressed_size`` and
+  compressed every line twice);
+- :meth:`CompressionAlgorithm.batch_sizes` — per-line compressed sizes
+  over a ``(n_lines, 64)`` uint8 array.  The base implementation loops
+  the scalar path (the reference semantics); algorithms override it with
+  a numpy kernel that must match the scalar sizes bit for bit (see
+  :mod:`repro.compression.batch` and DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Tuple
 
 LINE_SIZE = 64
 """Cache-line size in bytes, fixed at 64 throughout the system."""
@@ -44,10 +56,49 @@ class CompressionAlgorithm(ABC):
     def decompress(self, payload: bytes) -> bytes:
         """Invert :meth:`compress`, returning the original 64-byte line."""
 
+    def compress_and_size(self, line: bytes) -> Tuple[Optional[bytes], int]:
+        """Compress once, returning ``(payload, charged size)``.
+
+        The size is ``LINE_SIZE`` when the line is incompressible
+        (``payload is None``), else ``len(payload)``.  Controllers that
+        need both the payload and the size use this instead of calling
+        ``compress`` and ``compressed_size`` back to back.
+        """
+        payload = self.compress(line)
+        return payload, (LINE_SIZE if payload is None else len(payload))
+
     def compressed_size(self, line: bytes) -> int:
         """Size in bytes after compression (line size if incompressible)."""
-        payload = self.compress(line)
-        return LINE_SIZE if payload is None else len(payload)
+        return self.compress_and_size(line)[1]
+
+    def cached_size(self, line: bytes) -> Optional[int]:
+        """The memoized compressed size of ``line``, without computing it.
+
+        Returns ``None`` when the size is not already known.  Memoizing
+        algorithms (:class:`~repro.compression.hybrid.HybridCompressor`)
+        override this; the sim's hot paths use it to reject impossible
+        packings without compressing anything.
+        """
+        return None
+
+    def batch_sizes(self, lines):
+        """Per-line compressed sizes over a ``(n_lines, 64)`` uint8 array.
+
+        Returns an ``int64`` array of charged sizes (``LINE_SIZE`` for
+        incompressible lines).  This base implementation is the scalar
+        reference — it loops :meth:`compressed_size` — and is what every
+        vectorized override is golden-tested against.
+        """
+        import numpy as np
+
+        from repro.compression.batch import check_batch
+
+        array = check_batch(lines)
+        return np.fromiter(
+            (self.compressed_size(row.tobytes()) for row in array),
+            dtype=np.int64,
+            count=array.shape[0],
+        )
 
     @staticmethod
     def check_line(line: bytes) -> None:

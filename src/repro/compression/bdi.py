@@ -122,6 +122,68 @@ class BDI(CompressionAlgorithm):
             out.extend(((anchor + delta) % modulus).to_bytes(base_bytes, "little"))
         return bytes(out)
 
+    def batch_sizes(self, lines):
+        """Vectorized BDI sizes over a ``(n, 64)`` uint8 array."""
+        return self.batch_classify(lines)[0]
+
+    def batch_classify(self, lines):
+        """Vectorized ``(sizes, encodings)`` over a ``(n, 64)`` uint8 array.
+
+        The encoding tag is the scalar payload's first byte (0 zeros,
+        1 repeat, 2–7 the base/delta encodings) or 255 for incompressible
+        lines — cheap to emit because feasibility is computed per
+        encoding anyway.
+        """
+        import numpy as np
+
+        from repro.compression.batch import check_batch, words_le
+
+        array = check_batch(lines)
+        n = array.shape[0]
+        sizes = np.full(n, LINE_SIZE, dtype=np.int64)
+        encodings = np.full(n, 255, dtype=np.int64)
+
+        zeros = ~array.any(axis=1)
+        chunks = array.reshape(n, LINE_SIZE // 8, 8)
+        repeat = (chunks == chunks[:, :1, :]).all(axis=(1, 2))
+        sizes[zeros] = 1
+        encodings[zeros] = _ENC_ZEROS
+        repeat_only = repeat & ~zeros
+        sizes[repeat_only] = 9
+        encodings[repeat_only] = _ENC_REPEAT
+
+        decided = zeros | repeat
+        rows = np.arange(n)
+        for encoding, base_bytes, delta_bytes in _ENCODINGS_BY_SIZE:
+            if decided.all():
+                break
+            elements = words_le(array, base_bytes)
+            count = LINE_SIZE // base_bytes
+            high = 1 << (delta_bytes * 8 - 1)
+            immediate = elements < high
+            # the first non-immediate element anchors the explicit base
+            # (argmax yields 0 for all-immediate rows, where feasibility
+            # holds regardless of the base value)
+            base = elements[rows, np.argmax(~immediate, axis=1)][:, None]
+            if base_bytes == 8:
+                # 64-bit elements: uint64 wraparound plus an explicit sign
+                # split reproduces the scalar arbitrary-precision check
+                wrapped = elements - base
+                fits = np.where(
+                    elements >= base,
+                    wrapped < np.uint64(high),
+                    wrapped >= np.uint64((1 << 64) - high),
+                )
+            else:
+                delta = elements.astype(np.int64) - base.astype(np.int64)
+                fits = (delta >= -high) & (delta < high)
+            feasible = (immediate | fits).all(axis=1) & ~decided
+            payload = 1 + base_bytes + (count + 7) // 8 + count * delta_bytes
+            sizes[feasible] = payload
+            encodings[feasible] = encoding
+            decided |= feasible
+        return sizes, encodings
+
     def _plan(
         self, line: bytes, encoding: int, base_bytes: int, delta_bytes: int
     ) -> Optional[_DeltaPlan]:

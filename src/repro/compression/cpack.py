@@ -108,6 +108,53 @@ class CPack(CompressionAlgorithm):
             raise CompressionError("truncated C-Pack payload") from exc
         return b"".join(word.to_bytes(4, "big") for word in words)
 
+    def batch_sizes(self, lines):
+        """Vectorized C-Pack sizes over a ``(n, 64)`` uint8 array.
+
+        The FIFO dictionary is inherently sequential *within* a line, so
+        the kernel walks the 16 word columns in order while staying
+        vectorized *across* lines: each line's dictionary is one row of a
+        ``(n, 16)`` array.  A line pushes at most 16 words, so the
+        16-entry FIFO never evicts and insertion order is append order —
+        exactly the scalar ``_push`` behaviour.
+        """
+        import numpy as np
+
+        from repro.compression.batch import check_batch, finalize_sizes, words_be
+
+        array = check_batch(lines)
+        words = words_be(array, 4)
+        n = array.shape[0]
+        dictionary = np.zeros((n, _DICT_SIZE), dtype=np.uint32)
+        filled = np.zeros(n, dtype=np.intp)
+        slots = np.arange(_DICT_SIZE)[None, :]
+        bits = np.zeros(n, dtype=np.int64)
+        rows = np.arange(n)
+        for column in range(_WORDS_PER_LINE):
+            word = words[:, column]
+            valid = slots < filled[:, None]
+            zero = word == 0
+            low_byte = ~zero & ((word & np.uint32(0xFFFFFF00)) == 0)
+            match4 = ((dictionary == word[:, None]) & valid).any(axis=1)
+            match3 = (
+                ((dictionary >> np.uint32(8)) == (word >> np.uint32(8))[:, None])
+                & valid
+            ).any(axis=1)
+            match2 = (
+                ((dictionary >> np.uint32(16)) == (word >> np.uint32(16))[:, None])
+                & valid
+            ).any(axis=1)
+            bits += np.select(
+                [zero, low_byte, match4, match3, match2],
+                [2, 12, 6, 16, 24],
+                default=34,
+            )
+            push = ~(zero | low_byte | match4)
+            pushed_rows = rows[push]
+            dictionary[pushed_rows, filled[pushed_rows]] = word[pushed_rows]
+            filled[pushed_rows] += 1
+        return finalize_sizes(bits)
+
     @staticmethod
     def _find(dictionary: List[int], word: int, match_bytes: int) -> Optional[int]:
         """Index of a dictionary entry whose top ``match_bytes`` match."""

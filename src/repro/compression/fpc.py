@@ -133,6 +133,45 @@ class FPC(CompressionAlgorithm):
             raise CompressionError("FPC payload decoded to wrong word count")
         return b"".join(word.to_bytes(4, "little") for word in words)
 
+    def batch_sizes(self, lines):
+        """Vectorized FPC sizes over a ``(n, 64)`` uint8 array.
+
+        Per-word costs are a pure classification (the same prefix
+        priority as :meth:`compress`); zero-run accounting walks the 16
+        word columns once, charging a new 6-bit run token whenever a zero
+        starts a run or extends one past the 8-word cap.
+        """
+        import numpy as np
+
+        from repro.compression.batch import check_batch, finalize_sizes, words_le
+
+        array = check_batch(lines)
+        words = words_le(array, 4)
+        zero = words == 0
+        hi = words >> np.uint32(16)
+        lo = words & np.uint32(0xFFFF)
+        cost = np.select(
+            [
+                (words < 8) | (words >= 0xFFFFFFF8),
+                (words < 0x80) | (words >= 0xFFFFFF80),
+                (words < 0x8000) | (words >= 0xFFFF8000),
+                lo == 0,
+                ((hi < 0x80) | (hi >= 0xFF80)) & ((lo < 0x80) | (lo >= 0xFF80)),
+                words == (words & np.uint32(0xFF)) * np.uint32(0x01010101),
+            ],
+            [7, 11, 19, 19, 19, 11],
+            default=35,
+        )
+        cost = np.where(zero, 0, cost)
+        n = array.shape[0]
+        run_pos = np.zeros(n, dtype=np.int64)
+        runs = np.zeros(n, dtype=np.int64)
+        for column in range(_WORDS_PER_LINE):
+            zeros_here = zero[:, column]
+            runs += zeros_here & (run_pos % _MAX_ZERO_RUN == 0)
+            run_pos = np.where(zeros_here, run_pos + 1, 0)
+        return finalize_sizes(cost.sum(axis=1) + 6 * runs)
+
     @staticmethod
     def _is_two_half_bytes(word: int) -> bool:
         """Each 16-bit half is the sign extension of its low byte."""

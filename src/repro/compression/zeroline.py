@@ -27,6 +27,15 @@ class ZeroLine(CompressionAlgorithm):
             return b"\x00"
         return None
 
+    def batch_sizes(self, lines):
+        """Vectorized zero-line sizes: 1 for all-zero rows, else 64."""
+        import numpy as np
+
+        from repro.compression.batch import check_batch
+
+        array = check_batch(lines)
+        return np.where(array.any(axis=1), LINE_SIZE, 1).astype(np.int64)
+
     def decompress(self, payload: bytes) -> bytes:
         if payload != b"\x00":
             raise CompressionError("bad zero-line payload")

@@ -125,8 +125,8 @@ class MemZipController(MemoryController):
     ) -> WriteResult:
         if not evicted.dirty:
             return WriteResult()  # compressed image in memory is still valid
-        payload = self.compressor.compress(evicted.data)
-        if payload is not None and len(payload) + 1 <= 56:
+        payload, size = self.compressor.compress_and_size(evicted.data)
+        if payload is not None and size + 1 <= 56:
             stored = bytes([len(payload)]) + payload
             bursts = max(1, (len(stored) + 7) // 8)
             slot = stored.ljust(LINE_SIZE, b"\x00")

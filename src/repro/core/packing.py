@@ -71,7 +71,28 @@ def compress_group(
 
     This is the check the memory controller performs at LLC eviction:
     can this group fit one 64-byte slot including the marker?
+
+    When the algorithm keeps a size memo (``cached_size``), known sizes
+    answer the fit question without materialising any payload.  The
+    reject conditions replicate the slow path exactly: a member of size
+    ``LINE_SIZE`` is one ``compress`` would refuse (every algorithm
+    returns ``None`` rather than a >= 64-byte payload), and the budget
+    test is the same inequality :func:`pack_slot` applies — so the fast
+    path can only skip work, never change the answer.
     """
+    sizer = getattr(algorithm, "cached_size", None)
+    if sizer is not None:
+        total = len(marker) + len(lines)
+        for line in lines:
+            size = sizer(line)
+            if size is None:
+                break  # unknown member: fall through to the slow path
+            if size >= LINE_SIZE:
+                return None  # incompressible member
+            total += size
+        else:
+            if total > LINE_SIZE:
+                return None
     payloads = []
     for line in lines:
         payload = algorithm.compress(line)

@@ -45,6 +45,11 @@ class SimConfig:
     working set is a one-time cost the paper's billion-instruction runs
     amortise away, so it must not dominate short synthetic traces."""
     capacity_lines: int = 1 << 22  # 256MB of 64-byte lines
+    batch_chunk: int = 1024
+    """Trace records pre-decoded per block so compressed sizes can be
+    precomputed by the vectorized batch kernel; ``0`` replays the scalar
+    per-record path (the reference the golden tests compare against).
+    Either value produces bitwise-identical results."""
     seed: int = 0
     page_policy: str = "open"
     refresh: bool = True

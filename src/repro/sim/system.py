@@ -7,6 +7,7 @@ import heapq
 from typing import List, Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
+from repro.compression.batch import BatchCompressor
 from repro.core.base_controller import MemoryController
 from repro.core.ideal import IdealTMCController
 from repro.core.memzip import MemZipController
@@ -106,11 +107,12 @@ class SimulatedSystem:
         if hcfg.num_cores != config.num_cores:
             hcfg = dataclasses.replace(hcfg, num_cores=config.num_cores)
         self.hierarchy = CacheHierarchy(self.controller, hcfg, self.policy)
+        self.batch = self._make_batch()
         total_ops = config.ops_per_core + config.warmup_ops
         self.cores = [
             CoreModel(
                 core,
-                self.generators[core].generate(total_ops),
+                self._trace_for(core, total_ops),
                 self.hierarchy,
                 self.page_table,
                 width=config.width,
@@ -119,6 +121,39 @@ class SimulatedSystem:
             for core in range(config.num_cores)
         ]
         self.registry = self._build_registry()
+
+    def _make_batch(self) -> Optional[BatchCompressor]:
+        """Batch front-end for the controller's compressor, if seedable.
+
+        Batch-driving only pays off when the vectorized sizes can be
+        parked somewhere the controller's scalar queries will find them —
+        i.e. the compressor exposes a ``seed_sizes`` memo.  Controllers
+        without a compressor (uncompressed, prefetch) replay the plain
+        scalar trace; either way the record stream and every simulated
+        outcome are identical (the golden test holds all seven designs to
+        that).
+        """
+        if self.config.batch_chunk <= 0:
+            return None
+        compressor = getattr(self.controller, "compressor", None)
+        if compressor is None or not hasattr(compressor, "seed_sizes"):
+            return None
+        return BatchCompressor(compressor)
+
+    def _trace_for(self, core_id: int, total_ops: int):
+        """The core's trace iterator: chunk-batched when it can help."""
+        generator = self.generators[core_id]
+        if self.batch is None:
+            return generator.generate(total_ops)
+        return generator.generate_batched(
+            total_ops, self.config.batch_chunk, on_chunk=self._precompute_chunk
+        )
+
+    def _precompute_chunk(self, chunk) -> None:
+        """Seed the compressor's size memo from one pre-decoded chunk."""
+        lines = chunk.write_lines()
+        if lines:
+            self.batch.precompute(lines)
 
     def _build_registry(self) -> StatRegistry:
         """One registry spanning every stat-bearing component.

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, Iterator
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 from repro.cpu.trace import TraceRecord
 from repro.workloads.data_patterns import (
@@ -117,21 +117,76 @@ class WorkloadTraceGenerator:
         """The value the line holds right now (version-aware)."""
         return self.data.line(vline, self._versions.get(vline, 0))
 
-    def generate(self, num_ops: int) -> Iterator[TraceRecord]:
-        """Yield ``num_ops`` trace records."""
+    def _record(self) -> TraceRecord:
+        """Draw the next trace record (the single source of RNG order)."""
         spec = self.spec
         rng = self._rng
+        gap = rng.randint(0, 2 * spec.mean_gap)
+        vline = self._next_address()
+        if rng.random() < spec.write_frac:
+            version = self._versions.get(vline, 0) + 1
+            self._versions[vline] = version
+            data = self.data.line(vline, version)
+            self.reference[vline] = data
+            return TraceRecord(gap, True, vline, data)
+        return TraceRecord(gap, False, vline, None)
+
+    def generate(self, num_ops: int) -> Iterator[TraceRecord]:
+        """Yield ``num_ops`` trace records."""
         for _ in range(num_ops):
-            gap = rng.randint(0, 2 * spec.mean_gap)
-            vline = self._next_address()
-            if rng.random() < spec.write_frac:
-                version = self._versions.get(vline, 0) + 1
-                self._versions[vline] = version
-                data = self.data.line(vline, version)
-                self.reference[vline] = data
-                yield TraceRecord(gap, True, vline, data)
-            else:
-                yield TraceRecord(gap, False, vline, None)
+            yield self._record()
+
+    def generate_batched(
+        self,
+        num_ops: int,
+        chunk_ops: int,
+        on_chunk: Optional[Callable[["TraceChunk"], None]] = None,
+    ) -> Iterator[TraceRecord]:
+        """Yield exactly the records :meth:`generate` would, in chunks.
+
+        Records are pre-decoded ``chunk_ops`` at a time and each block is
+        handed to ``on_chunk`` (as a :class:`TraceChunk`) before any of
+        its records is replayed — one opportunity for bulk work, such as
+        vectorized compressed-size precompute, ahead of the per-record
+        consumers.  Both paths call :meth:`_record` in the same order, so
+        the record stream is identical; only the generator-side state
+        (``reference``, versions) runs ahead of the replay by at most one
+        chunk, which nothing observes until the trace is drained.
+        """
+        if chunk_ops < 1:
+            raise ValueError("chunk_ops must be positive")
+        remaining = num_ops
+        while remaining > 0:
+            take = min(chunk_ops, remaining)
+            remaining -= take
+            chunk = TraceChunk([self._record() for _ in range(take)])
+            if on_chunk is not None:
+                on_chunk(chunk)
+            yield from chunk.records
+
+
+@dataclass
+class TraceChunk:
+    """A pre-decoded block of trace records with bulk views of its data."""
+
+    records: List[TraceRecord]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def addresses(self):
+        """Virtual line numbers in trace order, as an int64 numpy array."""
+        import numpy as np
+
+        return np.fromiter(
+            (record.vline for record in self.records),
+            dtype=np.int64,
+            count=len(self.records),
+        )
+
+    def write_lines(self) -> List[bytes]:
+        """Data of the write records, in trace order (duplicates kept)."""
+        return [record.write_data for record in self.records if record.is_write]
 
 
 def initial_line_value(generator: WorkloadTraceGenerator, vline: int) -> bytes:

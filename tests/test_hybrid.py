@@ -7,8 +7,23 @@ import pytest
 from hypothesis import given
 
 from repro.compression import BDI, CPack, FPC, HybridCompressor, ZeroLine
-from repro.compression.base import CompressionError
+from repro.compression.base import CompressionAlgorithm, CompressionError
 from tests.lineutils import any_lines, pointer_line, random_line, small_int_line, zero_line
+
+
+class FixedSize(CompressionAlgorithm):
+    """Test double: always compresses to a payload of a fixed size."""
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self._size = size
+
+    def compress(self, line):
+        self.check_line(line)
+        return bytes(self._size)
+
+    def decompress(self, payload):
+        return b"\x00" * 64
 
 
 @pytest.fixture
@@ -87,6 +102,86 @@ class TestHybrid:
         rng = random.Random(21)
         assert hybrid.compressed_size(random_line(rng)) == 64
         assert hybrid.compressed_size(zero_line()) < 8
+
+    def test_compress_and_size_agree(self, hybrid):
+        for line in (zero_line(), small_int_line(), random_line(random.Random(21))):
+            payload, size = hybrid.compress_and_size(line)
+            assert size == (64 if payload is None else len(payload))
+            assert size == hybrid.compressed_size(line)
+
+    def test_cached_size_lifecycle(self):
+        h = HybridCompressor([FixedSize("only", 10)], memoize=True)
+        line = b"\x07" * 64
+        assert h.cached_size(line) is None  # never compressed yet
+        assert h.compressed_size(line) == 11  # payload + tag byte
+        assert h.cached_size(line) == 11
+        h.clear_cache()
+        assert h.cached_size(line) is None
+
+    def test_cached_size_derives_from_payload_memo(self):
+        h = HybridCompressor([FixedSize("only", 10)], memoize=True)
+        line = b"\x07" * 64
+        h.compress(line)  # fills the payload memo
+        h._sizes.clear()  # size memo empty: must derive, not recompress
+        assert h.cached_size(line) == 11
+
+    def test_seed_sizes_feeds_compressed_size(self):
+        h = HybridCompressor([FixedSize("only", 10)], memoize=True)
+        line = b"\x07" * 64
+        h.seed_sizes([line], [11])
+        assert h.cached_size(line) == 11
+        assert h.compressed_size(line) == 11
+
+    def test_seed_sizes_noop_without_memo(self):
+        h = HybridCompressor([FixedSize("only", 10)], memoize=False)
+        h.seed_sizes([b"\x07" * 64], [11])
+        assert h.cached_size(b"\x07" * 64) is None
+
+
+class TestTieBreaking:
+    """Equal-size candidates must resolve to the first algorithm.
+
+    The rule (strict ``<`` in constructor order) is load-bearing: the
+    vectorized batch kernel applies the same first-minimum selection, and
+    any divergence would break the batch-vs-scalar bitwise-identity
+    guarantee the simulator relies on.
+    """
+
+    def test_tie_keeps_first_algorithm(self):
+        line = b"\x07" * 64
+        h = HybridCompressor(
+            [FixedSize("a", 8), FixedSize("b", 8)], memoize=False
+        )
+        payload = h.compress(line)
+        assert payload is not None and payload[0] == 0
+
+    def test_tie_follows_constructor_order(self):
+        line = b"\x07" * 64
+        h = HybridCompressor(
+            [FixedSize("b", 8), FixedSize("a", 8)], memoize=False
+        )
+        payload = h.compress(line)
+        assert payload[0] == 0  # still the first listed, not a name sort
+
+    def test_strictly_smaller_still_wins(self):
+        line = b"\x07" * 64
+        h = HybridCompressor(
+            [FixedSize("a", 9), FixedSize("b", 8)], memoize=False
+        )
+        assert h.compress(line)[0] == 1
+
+    def test_real_algorithm_ties_are_deterministic(self):
+        """Replaying the same corpus twice (memoized and not) always
+        lands on the same tag, even where FPC and BDI tie on size."""
+        rng = random.Random(7)
+        lines = [small_int_line(start=i, step=1) for i in range(32)]
+        lines += [pointer_line(base=0x7FFF_AB00_0000 + i * 0x1000) for i in range(8)]
+        lines += [random_line(rng) for _ in range(8)]
+        fresh = HybridCompressor(memoize=False)
+        memo = HybridCompressor(memoize=False)
+        for line in lines:
+            a, b = fresh.compress(line), memo.compress(line)
+            assert a == b
 
 
 @given(any_lines)

@@ -62,10 +62,19 @@ class TestRunner:
         assert result.elapsed_cycles > 0
         assert len(result.core_cycles) == CFG.num_cores
 
-    def test_cache_hit_returns_same_object(self):
+    def test_cache_hit_returns_marked_copy(self):
+        clear_cache()
         a = simulate("lbm06", "uncompressed", CFG)
         b = simulate("lbm06", "uncompressed", CFG)
-        assert a is b
+        # replays never alias (or mutate) the memoized result; they carry
+        # their own serve timing instead of the original's wall clock
+        assert b is not a
+        assert "cached" not in a.extras
+        assert b.extras["cached"] == 1.0
+        assert b.extras["serve_seconds"] >= 0.0
+        assert b.extras["sim_seconds"] == a.extras["sim_seconds"]
+        assert b.core_cycles == a.core_cycles
+        assert b.metrics == a.metrics
 
     def test_cache_bypass(self):
         a = simulate("lbm06", "uncompressed", CFG)
