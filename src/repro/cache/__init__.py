@@ -1,7 +1,18 @@
-"""Cache substrate: generic set-associative caches and the 3-level hierarchy."""
+"""Cache substrate: set-associative caches, pluggable replacement, hierarchy."""
 
 from repro.cache.cache import Cache, CacheLine, EvictedLine
 from repro.cache.hierarchy import AccessOutcome, CacheHierarchy, HierarchyConfig
+from repro.cache.replacement import (
+    DEFAULT_POLICY,
+    POLICIES,
+    FIFOPolicy,
+    LRUPolicy,
+    PrefetchAwareLRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
 
 __all__ = [
     "Cache",
@@ -10,4 +21,13 @@ __all__ = [
     "AccessOutcome",
     "CacheHierarchy",
     "HierarchyConfig",
+    "DEFAULT_POLICY",
+    "POLICIES",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "PrefetchAwareLRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "make_policy",
 ]

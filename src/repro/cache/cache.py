@@ -7,14 +7,22 @@ the paper adds to the LLC tag store: a dirty bit, the 2-bit compression
 level observed when the line was filled from memory, the requesting-core
 id (for per-core Dynamic-PTMC) and a "prefetched, not yet referenced"
 bit used to credit useful bandwidth-free prefetches.
+
+Replacement is delegated to a pluggable
+:class:`~repro.cache.replacement.ReplacementPolicy` (DESIGN.md §10).
+Each set is an insertion-ordered mapping the policy may reorder; the
+default ``lru`` policy reproduces the historical hard-coded behaviour
+operation-for-operation, so default-path simulations are bitwise
+identical to the pre-seam code.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Union
 
+from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.telemetry import StatScope
 from repro.types import Level
 
@@ -33,19 +41,40 @@ class CacheLine:
 
 @dataclass(slots=True)
 class EvictedLine:
-    """A line pushed out of the cache, with the state the victim had."""
+    """A line pushed out of the cache, with the state the victim had.
+
+    ``prefetched`` preserves the victim's "installed by a co-fetch, never
+    demand-referenced" flag so the hierarchy can account wasted
+    prefetches (a bit the pre-seam code silently dropped).
+    """
 
     addr: int
     data: bytes
     dirty: bool
     fill_level: Level
     core_id: int
+    prefetched: bool = False
 
 
 class Cache:
-    """An LRU set-associative cache of 64-byte lines."""
+    """A set-associative cache of 64-byte lines with pluggable replacement.
 
-    def __init__(self, size_bytes: int, ways: int, line_size: int = 64, name: str = "cache") -> None:
+    ``policy`` accepts a registry name (``"lru"``, ``"fifo"``,
+    ``"random"``, ``"srrip"``, ``"pref_lru"``), a ready
+    :class:`ReplacementPolicy` instance, or ``None`` for the default LRU.
+    ``policy_seed`` feeds per-cache deterministic randomness (only the
+    random policy uses it).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_size: int = 64,
+        name: str = "cache",
+        policy: Union[str, ReplacementPolicy, None] = None,
+        policy_seed: int = 0,
+    ) -> None:
         if size_bytes % (ways * line_size) != 0:
             raise ValueError("cache size must be a multiple of ways * line size")
         self.name = name
@@ -55,8 +84,16 @@ class Cache:
         if self.num_sets < 1:
             raise ValueError("cache must have at least one set")
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        if policy is None:
+            policy = "lru"
+        if isinstance(policy, str):
+            policy = make_policy(policy, cache_name=name, seed=policy_seed)
+        self.policy = policy
+        self.policy.bind(self.num_sets, ways)
         self.hits = 0
         self.misses = 0
+        self.policy_evictions = 0
+        self.prefetch_victims = 0
 
     # Indexing -----------------------------------------------------------
 
@@ -69,23 +106,24 @@ class Cache:
     # Lookup / update ------------------------------------------------------
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
-        """Return the resident line (updating LRU) or ``None`` on miss.
+        """Return the resident line (updating policy state) or ``None``.
 
         Statistics count a hit/miss per call; use ``probe`` for a
         side-effect-free check.
         """
-        cache_set = self._set_for(addr)
+        set_index = self.set_index(addr)
+        cache_set = self._sets[set_index]
         line = cache_set.get(addr)
         if line is None:
             self.misses += 1
             return None
         self.hits += 1
         if touch:
-            cache_set.move_to_end(addr)
+            self.policy.on_hit(set_index, cache_set, addr)
         return line
 
     def probe(self, addr: int) -> Optional[CacheLine]:
-        """Check residency without touching LRU state or statistics."""
+        """Check residency without touching policy state or statistics."""
         return self._set_for(addr).get(addr)
 
     def fill(
@@ -100,19 +138,26 @@ class Cache:
         """Install a line, returning the victim if one was displaced.
 
         Filling an already-resident address updates it in place (no
-        eviction); callers use this for writes that hit.
+        eviction) and counts as a touch; callers use this for writes
+        that hit.
         """
-        cache_set = self._set_for(addr)
+        set_index = self.set_index(addr)
+        cache_set = self._sets[set_index]
         existing = cache_set.get(addr)
         if existing is not None:
             existing.data = data
             existing.dirty = existing.dirty or dirty
-            cache_set.move_to_end(addr)
+            self.policy.on_hit(set_index, cache_set, addr)
             return None
         victim: Optional[EvictedLine] = None
         if len(cache_set) >= self.ways:
-            _, old = cache_set.popitem(last=False)
-            victim = EvictedLine(old.addr, old.data, old.dirty, old.fill_level, old.core_id)
+            victim_addr = self.policy.select_victim(set_index, cache_set)
+            old = cache_set.pop(victim_addr)
+            self.policy.on_evict(set_index, victim_addr)
+            self.policy_evictions += 1
+            if old.prefetched:
+                self.prefetch_victims += 1
+            victim = self._evicted(old)
         cache_set[addr] = CacheLine(
             addr=addr,
             data=data,
@@ -121,19 +166,36 @@ class Cache:
             core_id=core_id,
             prefetched=prefetched,
         )
+        self.policy.on_fill(set_index, cache_set, addr)
         return victim
 
     def evict(self, addr: int) -> Optional[EvictedLine]:
         """Forcibly remove a specific line (ganged eviction support)."""
-        cache_set = self._set_for(addr)
-        line = cache_set.pop(addr, None)
+        set_index = self.set_index(addr)
+        line = self._sets[set_index].pop(addr, None)
         if line is None:
             return None
-        return EvictedLine(line.addr, line.data, line.dirty, line.fill_level, line.core_id)
+        self.policy.on_evict(set_index, addr)
+        return self._evicted(line)
 
     def invalidate(self, addr: int) -> bool:
         """Drop a line without writeback; returns whether it was present."""
-        return self._set_for(addr).pop(addr, None) is not None
+        set_index = self.set_index(addr)
+        present = self._sets[set_index].pop(addr, None) is not None
+        if present:
+            self.policy.on_evict(set_index, addr)
+        return present
+
+    @staticmethod
+    def _evicted(line: CacheLine) -> EvictedLine:
+        return EvictedLine(
+            line.addr,
+            line.data,
+            line.dirty,
+            line.fill_level,
+            line.core_id,
+            line.prefetched,
+        )
 
     # Iteration / statistics ----------------------------------------------
 
@@ -163,10 +225,13 @@ class Cache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.policy_evictions = 0
+        self.prefetch_victims = 0
 
     def drain(self, sink: Callable[[EvictedLine], None]) -> None:
         """Evict everything through ``sink`` (end-of-simulation flush)."""
-        for cache_set in self._sets:
+        for set_index, cache_set in enumerate(self._sets):
             while cache_set:
-                _, line = cache_set.popitem(last=False)
-                sink(EvictedLine(line.addr, line.data, line.dirty, line.fill_level, line.core_id))
+                addr, line = cache_set.popitem(last=False)
+                self.policy.on_evict(set_index, addr)
+                sink(self._evicted(line))

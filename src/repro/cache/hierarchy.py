@@ -28,7 +28,14 @@ from repro.types import Level
 
 @dataclass(frozen=True)
 class HierarchyConfig:
-    """Cache sizes/latencies (paper Table I; latencies are typical values)."""
+    """Cache sizes/latencies (paper Table I; latencies are typical values).
+
+    ``l1_policy``/``l2_policy``/``l3_policy`` name the replacement policy
+    each level runs (registry names from
+    :mod:`repro.cache.replacement`); ``policy_seed`` feeds per-cache
+    deterministic randomness so seeded-random policies stay bitwise
+    reproducible across parallel sweep workers.
+    """
 
     num_cores: int = 8
     l1_bytes: int = 32 * 1024
@@ -40,6 +47,10 @@ class HierarchyConfig:
     l3_bytes: int = 8 * 1024 * 1024
     l3_ways: int = 16
     l3_latency: int = 35
+    l1_policy: str = "lru"
+    l2_policy: str = "lru"
+    l3_policy: str = "lru"
+    policy_seed: int = 0
 
 
 @dataclass
@@ -63,6 +74,7 @@ class _HierarchyLLCView(LLCView):
     def force_evict(self, addr: int) -> Optional[EvictedLine]:
         line = self._h.l3.evict(addr)
         if line is not None:
+            self._h._note_l3_eviction(line)
             self._h._back_invalidate(addr, line.core_id)
         return line
 
@@ -92,16 +104,35 @@ class CacheHierarchy:
         self.controller = controller
         self.policy = policy
         self.l1s: List[Cache] = [
-            Cache(config.l1_bytes, config.l1_ways, name=f"l1_{c}")
+            Cache(
+                config.l1_bytes,
+                config.l1_ways,
+                name=f"l1_{c}",
+                policy=config.l1_policy,
+                policy_seed=config.policy_seed,
+            )
             for c in range(config.num_cores)
         ]
         self.l2s: List[Cache] = [
-            Cache(config.l2_bytes, config.l2_ways, name=f"l2_{c}")
+            Cache(
+                config.l2_bytes,
+                config.l2_ways,
+                name=f"l2_{c}",
+                policy=config.l2_policy,
+                policy_seed=config.policy_seed,
+            )
             for c in range(config.num_cores)
         ]
-        self.l3 = Cache(config.l3_bytes, config.l3_ways, name="l3")
+        self.l3 = Cache(
+            config.l3_bytes,
+            config.l3_ways,
+            name="l3",
+            policy=config.l3_policy,
+            policy_seed=config.policy_seed,
+        )
         self.llc_view = _HierarchyLLCView(self)
         self.useful_prefetches = 0
+        self.wasted_prefetches = 0
         self.demand_accesses = 0
         # give prefetch-style controllers a residency filter
         if hasattr(controller, "resident_filter"):
@@ -116,7 +147,22 @@ class CacheHierarchy:
         """
         self.l3.register_stats(scope)
         scope.counter("useful_prefetches", lambda: self.useful_prefetches)
+        scope.counter(
+            "wasted_prefetches",
+            lambda: self.wasted_prefetches,
+            doc="prefetched lines evicted from the L3 before any demand reference",
+        )
         scope.counter("demand_accesses", lambda: self.demand_accesses)
+        scope.counter(
+            "policy_evictions",
+            lambda: self.l3.policy_evictions,
+            doc="L3 capacity evictions decided by the replacement policy",
+        )
+        scope.counter(
+            "prefetch_victims",
+            lambda: self.l3.prefetch_victims,
+            doc="L3 policy victims that were never-referenced prefetches",
+        )
         for name, caches in (("l1", self.l1s), ("l2", self.l2s)):
             level = scope.scope(name)
             hits = level.counter(
@@ -224,8 +270,14 @@ class CacheHierarchy:
             prefetched=prefetched,
         )
         if victim is not None:
+            self._note_l3_eviction(victim)
             self._back_invalidate(victim.addr, victim.core_id)
             self.controller.handle_eviction(victim, now, victim.core_id, self.llc_view)
+
+    def _note_l3_eviction(self, victim: EvictedLine) -> None:
+        """Account a line leaving the L3 (capacity victim or ganged)."""
+        if victim.prefetched:
+            self.wasted_prefetches += 1
 
     def _back_invalidate(self, addr: int, core_hint: int) -> None:
         """Enforce inclusion on L3 eviction.

@@ -37,22 +37,17 @@ from repro.sim.diskcache import DiskCache
 from repro.sim.runner import compare, simulate
 from repro.sim.system import DESIGNS
 from repro.telemetry import StatRegistry
-from repro.workloads import ALL_64, GAP, MEMORY_INTENSIVE, MIXES, SPEC06, SPEC17, get_workload
+from repro.workloads import ALL_64, MEMORY_INTENSIVE, SUITE_BY_NAME, get_workload
 
-SUITES = {
-    "spec06": SPEC06,
-    "spec17": SPEC17,
-    "gap": GAP,
-    "mix": MIXES,
-    "memory_intensive": MEMORY_INTENSIVE,
-    "all64": ALL_64,
-}
+#: Suite registry shared with scripts (``repro.workloads.SUITE_BY_NAME``).
+SUITES = SUITE_BY_NAME
 
 
 def _config(args) -> "SimConfig":
     return bench_config(
         ops_per_core=args.ops,
         warmup_ops=args.warmup,
+        llc_policy=getattr(args, "llc_policy", None),
     )
 
 
@@ -70,6 +65,23 @@ def cmd_list(args) -> int:
             rows.append([w.name, w.suite, "-", members])
     print(format_table(["name", "suite", "footprint (lines)", "write frac / members"], rows))
     print(f"\n(+ {len(ALL_64) - len(MEMORY_INTENSIVE)} low-MPKI fillers in 'all64')")
+    return 0
+
+
+def cmd_policies(args) -> int:
+    from repro.cache.replacement import DEFAULT_POLICY, POLICIES
+
+    print(banner("LLC replacement policies"))
+    rows = [
+        [name, cls.__name__, cls.description + (" *" if name == DEFAULT_POLICY else "")]
+        for name, cls in sorted(POLICIES.items())
+    ]
+    print(format_table(["name", "class", "description"], rows))
+    print(
+        "\n(* default)  Select with --llc-policy on run/stats/compare/"
+        "suite/sweep/submit, or sweep the whole space with "
+        "scripts/policy_search.py."
+    )
     return 0
 
 
@@ -297,6 +309,7 @@ def cmd_submit(args) -> int:
         args.design,
         ops=args.ops,
         warmup=args.warmup,
+        llc_policy=args.llc_policy,
         priority=args.priority,
         max_attempts=args.max_attempts,
         timeout=args.job_timeout,
@@ -366,8 +379,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PTMC (HPCA 2019) reproduction — simulation driver",
     )
+    from repro.cache.replacement import POLICIES
+
     parser.add_argument("--ops", type=int, default=4000, help="measured ops per core")
     parser.add_argument("--warmup", type=int, default=6000, help="warmup ops per core")
+    parser.add_argument(
+        "--llc-policy",
+        choices=sorted(POLICIES),
+        default=None,
+        help="LLC replacement policy (default: the hierarchy's, i.e. lru; "
+        "see 'repro policies')",
+    )
     parser.add_argument(
         "--cache-dir",
         default=None,
@@ -382,6 +404,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and designs")
+
+    sub.add_parser("policies", help="list LLC replacement policies")
 
     run = sub.add_parser("run", help="simulate one (workload, design) pair")
     run.add_argument("workload")
@@ -536,6 +560,7 @@ def main(argv=None) -> int:
         get_workload(args.workload)  # fail fast with the roster listing
     handlers = {
         "list": cmd_list,
+        "policies": cmd_policies,
         "run": cmd_run,
         "stats": cmd_stats,
         "compare": cmd_compare,

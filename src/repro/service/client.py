@@ -86,6 +86,7 @@ class ServiceClient:
         design: str,
         ops: Optional[int] = None,
         warmup: Optional[int] = None,
+        llc_policy: Optional[str] = None,
         priority: int = 0,
         max_attempts: Optional[int] = None,
         timeout: Optional[float] = None,
@@ -96,6 +97,8 @@ class ServiceClient:
             config["ops_per_core"] = ops
         if warmup is not None:
             config["warmup_ops"] = warmup
+        if llc_policy is not None:
+            config["llc_policy"] = llc_policy
         payload: Dict[str, Any] = {
             "workload": workload,
             "design": design,

@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from repro.cache.replacement import POLICIES
 from repro.service import jobstore
 from repro.service.jobstore import Job, JobStore
 from repro.service.scheduler import Scheduler, ServiceStats
@@ -37,7 +38,7 @@ from repro.telemetry import StatRegistry
 from repro.workloads.suites import get_workload
 
 #: SimConfig override keys a job submission may carry.
-ALLOWED_CONFIG_KEYS = frozenset({"ops_per_core", "warmup_ops"})
+ALLOWED_CONFIG_KEYS = frozenset({"ops_per_core", "warmup_ops", "llc_policy"})
 
 
 class SubmitError(ValueError):
@@ -124,6 +125,11 @@ class ServiceDaemon:
             raise SubmitError(
                 f"unsupported config overrides {sorted(unknown)}; "
                 f"allowed: {sorted(ALLOWED_CONFIG_KEYS)}"
+            )
+        llc_policy = config_overrides.get("llc_policy")
+        if llc_policy is not None and llc_policy not in POLICIES:
+            raise SubmitError(
+                f"unknown llc_policy {llc_policy!r}; choose from {sorted(POLICIES)}"
             )
         try:
             config = bench_config(**config_overrides)

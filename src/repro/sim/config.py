@@ -14,6 +14,7 @@ Two preset scales are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.cache.hierarchy import HierarchyConfig
 from repro.core.metadata_table import MetadataTableConfig
@@ -53,6 +54,13 @@ class SimConfig:
     seed: int = 0
     page_policy: str = "open"
     refresh: bool = True
+    llc_policy: Optional[str] = None
+    """LLC replacement-policy override (a registry name from
+    :mod:`repro.cache.replacement`: ``lru``/``fifo``/``random``/``srrip``/
+    ``pref_lru``).  ``None`` defers to ``hierarchy.l3_policy``.  The knob
+    is an ordinary serialisable field, so it participates in the
+    disk-cache key: two runs differing only in replacement policy never
+    share a stored result."""
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
     timing: DDRTiming = field(default_factory=DDRTiming)
     geometry: DRAMGeometry = field(default_factory=DRAMGeometry)

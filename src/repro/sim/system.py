@@ -106,6 +106,8 @@ class SimulatedSystem:
         hcfg = config.hierarchy
         if hcfg.num_cores != config.num_cores:
             hcfg = dataclasses.replace(hcfg, num_cores=config.num_cores)
+        if config.llc_policy is not None and hcfg.l3_policy != config.llc_policy:
+            hcfg = dataclasses.replace(hcfg, l3_policy=config.llc_policy)
         self.hierarchy = CacheHierarchy(self.controller, hcfg, self.policy)
         self.batch = self._make_batch()
         total_ops = config.ops_per_core + config.warmup_ops

@@ -113,6 +113,16 @@ ALL_64: List[Workload] = (MEMORY_INTENSIVE + LOW_MPKI)[:64]
 
 BY_NAME: Dict[str, Workload] = {w.name: w for w in MEMORY_INTENSIVE + LOW_MPKI}
 
+#: Suite-name -> roster registry (the CLI and search drivers share it).
+SUITE_BY_NAME: Dict[str, List[Workload]] = {
+    "spec06": SPEC06,
+    "spec17": SPEC17,
+    "gap": GAP,
+    "mix": MIXES,
+    "memory_intensive": MEMORY_INTENSIVE,
+    "all64": ALL_64,
+}
+
 
 def get_workload(name: str) -> Workload:
     """Look up a workload spec by its roster name."""

@@ -138,3 +138,38 @@ def test_occupancy_never_exceeds_capacity(addresses):
     for s in range(cache.num_sets):
         resident = [line for line in cache.resident() if cache.set_index(line.addr) == s]
         assert len(resident) <= 2
+
+
+class TestPolicySeam:
+    """The policy object is the only authority over victim choice."""
+
+    def test_default_cache_uses_lru(self):
+        assert type(small_cache().policy).name == "lru"
+
+    def test_policy_string_resolved_per_cache(self):
+        a = Cache(1024, 2, name="l3", policy="random", policy_seed=9)
+        b = Cache(1024, 2, name="l3", policy="random", policy_seed=9)
+        assert a.policy is not b.policy  # own RNG per cache instance
+
+    def test_drain_notifies_policy(self):
+        cache = Cache(1024, 2, policy="srrip")
+        cache.fill(0, LINE)
+        cache.fill(1, LINE)
+        drained = []
+        cache.drain(drained.append)
+        assert len(drained) == 2
+        assert cache.occupancy() == 0
+        # the policy's side-state was released with the lines: refilling
+        # behaves exactly like a cold cache
+        cache.fill(0, LINE)
+        assert cache.fill(cache.num_sets, LINE) is None  # same set, 2 ways
+
+    @given(
+        addresses=st.lists(st.integers(min_value=0, max_value=63), max_size=200),
+        policy=st.sampled_from(["lru", "fifo", "random", "srrip", "pref_lru"]),
+    )
+    def test_occupancy_bounded_for_every_policy(self, addresses, policy):
+        cache = Cache(2 * 4 * 64, ways=2, policy=policy, name="prop", policy_seed=2)
+        for addr in addresses:
+            cache.fill(addr, LINE)
+        assert cache.occupancy() <= 8

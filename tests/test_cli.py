@@ -236,3 +236,44 @@ class TestServiceParser:
     def test_unreachable_service_is_an_error_not_a_crash(self, capsys):
         assert main(["jobs", "--url", "http://127.0.0.1:1"]) == 1
         assert "service error" in capsys.readouterr().out
+
+
+class TestPolicyCLI:
+    def test_policies_verb_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lru", "fifo", "random", "srrip", "pref_lru"):
+            assert name in out
+        assert "default" in out
+
+    def test_llc_policy_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["--llc-policy", "srrip", "run", "lbm06", "ideal"]
+        )
+        assert args.llc_policy == "srrip"
+
+    def test_llc_policy_defaults_to_none(self):
+        args = build_parser().parse_args(["run", "lbm06", "ideal"])
+        assert args.llc_policy is None
+
+    def test_unknown_policy_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--llc-policy", "belady", "run", "lbm06", "ideal"])
+
+    def test_run_with_policy_override(self, capsys):
+        assert main(
+            [
+                "--ops", "200", "--warmup", "100",
+                "--llc-policy", "fifo",
+                "run", "lbm06", "static_ptmc",
+            ]
+        ) == 0
+        assert "weighted speedup" in capsys.readouterr().out
+
+    def test_stats_expose_policy_counters(self, capsys):
+        assert main(
+            ["--ops", "200", "--warmup", "100", "stats", "lbm06", "prefetch"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "llc.policy_evictions" in out
+        assert "llc.wasted_prefetches" in out

@@ -307,3 +307,54 @@ class TestMaintenance:
 
     def test_prune_empty_cache_is_noop(self, tmp_path):
         assert DiskCache(tmp_path).prune(0) == 0
+
+
+class TestPolicyKeying:
+    """Replacement-policy knobs are part of the result identity: sweeps
+    over policies must never collide in the shared store."""
+
+    def test_llc_policy_knob_changes_key(self):
+        w = get_workload("lbm06")
+        keys = {cache_key(w, "static_ptmc", CFG.with_(llc_policy=p))
+                for p in (None, "lru", "fifo", "random", "srrip", "pref_lru")}
+        assert len(keys) == 6  # None and explicit "lru" are distinct identities
+
+    def test_hierarchy_policy_fields_change_key(self):
+        w = get_workload("lbm06")
+        base = cache_key(w, "ideal", CFG)
+        hcfg = dataclasses.replace(CFG.hierarchy, l3_policy="srrip")
+        assert cache_key(w, "ideal", CFG.with_(hierarchy=hcfg)) != base
+        seeded = dataclasses.replace(CFG.hierarchy, policy_seed=1)
+        assert cache_key(w, "ideal", CFG.with_(hierarchy=seeded)) != base
+
+    def test_policy_differing_runs_store_distinct_results(self, tmp_path):
+        runner.configure_disk_cache(tmp_path)
+        lru, src_lru = runner.simulate_with_source(
+            "lbm06", "static_ptmc", CFG.with_(llc_policy="lru")
+        )
+        fifo, src_fifo = runner.simulate_with_source(
+            "lbm06", "static_ptmc", CFG.with_(llc_policy="fifo")
+        )
+        assert src_lru == src_fifo == "executed"  # no key collision
+        runner.clear_cache()  # fresh process: only the disk store remains
+        lru2, src = runner.simulate_with_source(
+            "lbm06", "static_ptmc", CFG.with_(llc_policy="lru")
+        )
+        assert src == "disk"
+        assert lru2.metrics == lru.metrics
+        fifo2, src = runner.simulate_with_source(
+            "lbm06", "static_ptmc", CFG.with_(llc_policy="fifo")
+        )
+        assert src == "disk"
+        assert fifo2.metrics == fifo.metrics
+
+    def test_identical_policy_configs_still_hit(self, tmp_path):
+        runner.configure_disk_cache(tmp_path)
+        cfg = CFG.with_(llc_policy="srrip")
+        _, first = runner.simulate_with_source("lbm06", "static_ptmc", cfg)
+        _, second = runner.simulate_with_source("lbm06", "static_ptmc", cfg)
+        assert first == "executed"
+        assert second == "memory"
+        runner.clear_cache()
+        _, third = runner.simulate_with_source("lbm06", "static_ptmc", cfg)
+        assert third == "disk"

@@ -1,14 +1,21 @@
 """Tests for the cache hierarchy wired to a memory controller."""
 
+import dataclasses
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.replacement import POLICIES
 from repro.core.policy import SamplingPolicy
 from repro.core.ptmc import PTMCController
 from repro.core.uncompressed import UncompressedController
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMSystem
 from tests.lineutils import quad_friendly_line
+
+LINE = b"\x00" * 64
 
 SMALL = HierarchyConfig(
     num_cores=2,
@@ -148,3 +155,83 @@ class TestPrefetchAccounting:
         h.access(0, 9, False, 30_000)  # second hit: no double count
         assert policy.benefits == before + 1
         assert h.useful_prefetches >= 1
+
+
+class TestPolicyHierarchyProperties:
+    """The inclusion and occupancy invariants hold for every registered
+    replacement policy, not just the default LRU path."""
+
+    @staticmethod
+    def _policy_hierarchy(policy):
+        memory = PhysicalMemory(1 << 16)
+        cfg = dataclasses.replace(
+            SMALL, l1_policy=policy, l2_policy=policy, l3_policy=policy, policy_seed=5
+        )
+        return CacheHierarchy(UncompressedController(memory, DRAMSystem()), cfg)
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @settings(deadline=None, max_examples=15)
+    @given(stream=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # core
+            st.integers(min_value=0, max_value=511),  # line address
+            st.booleans(),  # write?
+        ),
+        max_size=120,
+    ))
+    def test_inclusion_and_occupancy_under_random_streams(self, policy, stream):
+        h = self._policy_hierarchy(policy)
+        for cycle, (core, addr, is_write) in enumerate(stream):
+            data = LINE if is_write else None
+            h.access(core, addr, is_write, cycle * 10, write_data=data)
+        for cache in [h.l3, *h.l1s, *h.l2s]:
+            assert cache.occupancy() <= cache.num_sets * cache.ways
+        for inner in [*h.l1s, *h.l2s]:
+            for line in inner.resident():
+                assert h.l3.probe(line.addr) is not None
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_force_evict_back_invalidates_every_policy(self, policy):
+        h = self._policy_hierarchy(policy)
+        for addr in range(8):
+            h.access(addr % 2, addr, False, addr * 10)
+        target = next(iter(h.l3.resident())).addr
+        h.llc_view.force_evict(target)
+        assert h.l3.probe(target) is None
+        for inner in [*h.l1s, *h.l2s]:
+            assert inner.probe(target) is None
+        for line in h.l1s[0].resident():
+            assert h.l3.probe(line.addr) is not None
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_rereference_hits_l1_every_policy(self, policy):
+        h = self._policy_hierarchy(policy)
+        h.access(0, 17, False, 0)
+        assert h.access(0, 17, False, 10).served_by == "l1"
+
+
+class TestWastedPrefetchAccounting:
+    def test_unreferenced_prefetch_eviction_counts_as_wasted(self):
+        memory = PhysicalMemory(1 << 16)
+        dram = DRAMSystem()
+        controller = PTMCController(memory, dram)
+        h = CacheHierarchy(controller, SMALL)
+        lines = [quad_friendly_line(i) for i in range(4)]
+        _compact_group_through_hierarchy(h, controller, lines)
+        h.access(0, 8, False, 10_000)  # re-read installs 9..11 as prefetched
+        assert h.l3.probe(9).prefetched
+        assert h.wasted_prefetches == 0
+        h.llc_view.force_evict(9)  # evicted before any demand touch
+        assert h.wasted_prefetches == 1
+
+    def test_referenced_prefetch_is_not_wasted(self):
+        memory = PhysicalMemory(1 << 16)
+        dram = DRAMSystem()
+        controller = PTMCController(memory, dram)
+        h = CacheHierarchy(controller, SMALL)
+        lines = [quad_friendly_line(i) for i in range(4)]
+        _compact_group_through_hierarchy(h, controller, lines)
+        h.access(0, 8, False, 10_000)
+        h.access(0, 9, False, 20_000)  # demand hit clears the prefetched bit
+        h.llc_view.force_evict(9)
+        assert h.wasted_prefetches == 0

@@ -173,3 +173,35 @@ class TestApiSurface:
         # the runner satellite: execution counters share the registry
         assert "runner.executed" in metrics
         assert "runner.disk.stores" in metrics
+
+
+class TestPolicySubmission:
+    def test_policy_job_round_trips(self, daemon):
+        client = ServiceClient(daemon.url)
+        job = client.submit(
+            "lbm06", "static_ptmc", ops=OPS, warmup=WARMUP, llc_policy="fifo"
+        )
+        done = client.wait(job["id"], timeout=120)
+        assert done["state"] == jobstore.DONE
+        served = client.result(job["id"])
+        direct = runner.simulate(
+            "lbm06", "static_ptmc", CFG.with_(llc_policy="fifo"), use_cache=False
+        )
+        assert comparable(served) == comparable(direct)
+
+    def test_policy_jobs_do_not_dedupe_across_policies(self, daemon):
+        client = ServiceClient(daemon.url)
+        lru = client.submit(
+            "lbm06", "static_ptmc", ops=OPS, warmup=WARMUP, llc_policy="lru"
+        )
+        srrip = client.submit(
+            "lbm06", "static_ptmc", ops=OPS, warmup=WARMUP, llc_policy="srrip"
+        )
+        assert lru["created"] and srrip["created"]
+        assert lru["key"] != srrip["key"]
+
+    def test_unknown_policy_rejected(self, daemon):
+        client = ServiceClient(daemon.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit("lbm06", "ideal", llc_policy="belady")
+        assert "unknown llc_policy" in str(err.value)
