@@ -8,19 +8,24 @@ Boots ``repro serve`` as a real subprocess on an ephemeral port, then:
    (ignoring the wall-time provenance extra),
 3. re-submits the same identity and asserts it is served from the
    shared disk cache without execution,
-4. sends SIGTERM and verifies a clean drain (exit code 0, no
-   ``running`` rows left in the job store).
+4. scrapes ``GET /metrics?format=prometheus`` and checks the text
+   0.0.4 content type plus counter/gauge/histogram lines,
+5. sends SIGTERM and verifies a clean drain (exit code 0, no
+   ``running`` rows left in the job store),
+6. parses the daemon's structured log (newline-delimited JSON on
+   stderr) and asserts the job lifecycle events were recorded.
 
 Run from the repo root: ``PYTHONPATH=src python scripts/service_smoke.py``.
 """
 
+import json
 import os
 import re
 import signal
 import subprocess
 import sys
 import tempfile
-import time
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -52,12 +57,23 @@ def main() -> None:
         stderr=subprocess.STDOUT,
         text=True,
     )
+    preamble = []
     try:
-        line = daemon.stdout.readline()
-        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
-        if not match:
-            fail(f"daemon did not announce its address: {line!r}")
-        url = match.group(1)
+        # stderr (the structured log) is merged into stdout, so JSON log
+        # records may race ahead of the address announcement — keep
+        # reading until it appears.
+        url = None
+        for _ in range(20):
+            line = daemon.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+            if match:
+                url = match.group(1)
+                break
+            preamble.append(line)
+        if url is None:
+            fail(f"daemon did not announce its address: {preamble!r}")
         print(f"daemon up at {url}")
 
         from repro.service.client import ServiceClient
@@ -98,15 +114,50 @@ def main() -> None:
                 fail(f"metrics missing {path}")
         print("metrics expose service.* and runner.* paths")
 
+        with urllib.request.urlopen(f"{url}/metrics?format=prometheus") as resp:
+            ctype = resp.headers["Content-Type"]
+            text = resp.read().decode()
+        if ctype != "text/plain; version=0.0.4; charset=utf-8":
+            fail(f"wrong prometheus content type: {ctype}")
+        for pattern in (
+            r"^repro_service_completed_total \d+$",
+            r"^repro_service_uptime_seconds \d",
+            r'^repro_service_job_seconds_bucket\{le="\+Inf"\} \d+$',
+            r"^repro_service_http_request_seconds_count \d+$",
+            r"^repro_runner_executed_total \d+$",
+        ):
+            if not re.search(pattern, text, re.M):
+                fail(f"prometheus exposition missing {pattern}")
+        print("prometheus exposition scrapes with counters, gauges, histograms")
+
         daemon.send_signal(signal.SIGTERM)
         try:
-            code = daemon.wait(timeout=60)
+            remaining, _ = daemon.communicate(timeout=60)
         except subprocess.TimeoutExpired:
             daemon.kill()
             fail("daemon did not drain within 60s of SIGTERM")
+        code = daemon.returncode
         if code != 0:
             fail(f"daemon exited {code} after SIGTERM")
         print("daemon drained cleanly on SIGTERM")
+
+        records = []
+        for line in preamble + remaining.splitlines():
+            line = line.strip()
+            if line.startswith("{"):
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    fail(f"unparseable structured-log line: {line!r}")
+        events = {record.get("event") for record in records}
+        for wanted in ("scheduler_started", "job_submitted", "job_dispatched",
+                       "job_completed", "http_request"):
+            if wanted not in events:
+                fail(f"structured log missing event {wanted!r}: saw {sorted(events)}")
+        if any("ts" not in record for record in records):
+            fail("structured-log record without a ts field")
+        print(f"structured log recorded {len(records)} JSON events "
+              f"covering the job lifecycle")
 
         store = JobStore(db_path)
         try:

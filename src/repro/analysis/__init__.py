@@ -8,6 +8,7 @@ from repro.analysis.report import (
     format_speedups,
     format_table,
 )
+from repro.analysis.timeline import format_timeline, sparkline
 
 __all__ = [
     "banner",
@@ -15,7 +16,9 @@ __all__ = [
     "format_metrics",
     "format_speedups",
     "format_table",
+    "format_timeline",
     "hbar_chart",
     "sorted_curve",
+    "sparkline",
     "stacked_chart",
 ]

@@ -7,6 +7,7 @@ Examples::
     python -m repro compare lbm06              # all designs on one workload
     python -m repro suite gap static_ptmc      # geomean over a suite
     python -m repro sweep spec06 --jobs 4      # parallel speedup matrix
+    python -m repro timeline lbm06 static_ptmc # phase-resolved sparklines
     python -m repro cache stats                # on-disk result cache
 
     python -m repro serve                      # job-queue daemon
@@ -43,12 +44,34 @@ from repro.workloads import ALL_64, MEMORY_INTENSIVE, SUITE_BY_NAME, get_workloa
 SUITES = SUITE_BY_NAME
 
 
+#: Headline paths ``repro timeline`` plots when ``--metrics`` is omitted
+#: (filtered to what the run actually registered, so design-specific
+#: paths can be listed here safely).
+DEFAULT_TIMELINE_METRICS = (
+    "dram.reads",
+    "dram.writes",
+    "llc.hits",
+    "llc.misses",
+    "dram.row_hits",
+)
+
+
 def _config(args) -> "SimConfig":
     return bench_config(
         ops_per_core=args.ops,
         warmup_ops=args.warmup,
         llc_policy=getattr(args, "llc_policy", None),
     )
+
+
+def _obs(args) -> "ObsConfig | None":
+    """The global ``--sample-interval`` as an ObsConfig (None when off)."""
+    from repro.obs.sampler import ObsConfig
+
+    interval = getattr(args, "sample_interval", 0) or 0
+    if interval <= 0:
+        return None
+    return ObsConfig(sample_interval=interval)
 
 
 def cmd_list(args) -> int:
@@ -87,7 +110,7 @@ def cmd_policies(args) -> int:
 
 def cmd_run(args) -> int:
     config = _config(args)
-    result = simulate(args.workload, args.design, config)
+    result = simulate(args.workload, args.design, config, obs=_obs(args))
     base = simulate(args.workload, "uncompressed", config)
     speedup = compare(args.workload, args.design, config)
     rel = relative_energy(result, base)
@@ -124,7 +147,7 @@ def _runner_metrics() -> dict:
 
 def cmd_stats(args) -> int:
     config = _config(args)
-    result = simulate(args.workload, args.design, config)
+    result = simulate(args.workload, args.design, config, obs=_obs(args))
     runner_metrics = _runner_metrics()
     if args.json:
         print(json.dumps({**result.metrics, **runner_metrics}, indent=2, sort_keys=True))
@@ -220,6 +243,35 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_timeline(args) -> int:
+    from repro.analysis.timeline import format_timeline
+    from repro.obs.sampler import ObsConfig
+
+    config = _config(args)
+    obs = ObsConfig(sample_interval=args.interval)
+    result = simulate(args.workload, args.design, config, obs=obs)
+    timeseries = result.timeseries
+    if timeseries is None or not len(timeseries):
+        print("no samples collected")
+        return 1
+    if args.json:
+        print(json.dumps(timeseries.to_json_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.metrics:
+        paths = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    else:
+        available = set(timeseries.paths())
+        paths = [p for p in DEFAULT_TIMELINE_METRICS if p in available]
+    print(banner(f"Timeline: {args.workload} on {args.design}"))
+    try:
+        print(format_timeline(timeseries, paths, show_warmup=not args.no_warmup))
+    except KeyError as exc:
+        print(f"unknown metric path: {exc}; see 'repro stats {args.workload} "
+              f"{args.design} --json' for the full path list")
+        return 2
+    return 0
+
+
 def cmd_cache(args) -> int:
     cache = runner.disk_cache() or DiskCache(args.cache_dir)
     if args.action == "clear":
@@ -284,6 +336,7 @@ def cmd_serve(args) -> int:
         default_timeout=args.job_timeout,
         max_attempts=args.max_attempts,
         drain_seconds=args.drain_seconds,
+        log_stream=None if args.quiet else sys.stderr,
     )
 
     def _stop(signum, frame):
@@ -401,6 +454,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not read or write the persistent result cache",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of this invocation to PATH "
+        "(open in https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=0,
+        metavar="N",
+        help="on run/stats: sample telemetry every N line-accesses into the "
+        "result's time series (0 = off; 'repro timeline' has its own flag)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and designs")
@@ -448,6 +516,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write per-run telemetry as JSON to PATH ('-' for stdout)",
+    )
+
+    timeline = sub.add_parser(
+        "timeline", help="phase-resolved telemetry sparklines for one run"
+    )
+    timeline.add_argument("workload")
+    timeline.add_argument("design", choices=DESIGNS)
+    timeline.add_argument(
+        "--interval",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="line-accesses per sample (default: %(default)s)",
+    )
+    timeline.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated registry paths to plot (default: headline "
+        "dram/llc counters present in the run)",
+    )
+    timeline.add_argument(
+        "--no-warmup", action="store_true", help="hide the warmup-phase samples"
+    )
+    timeline.add_argument(
+        "--json", action="store_true", help="emit the raw time series as JSON"
     )
 
     cache = sub.add_parser("cache", help="inspect, clear, or prune the result cache")
@@ -514,6 +607,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="grace period for in-flight jobs on SIGTERM/SIGINT",
     )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the structured JSON event log (stderr by default)",
+    )
 
     submit = sub.add_parser("submit", help="enqueue one job on the service")
     submit.add_argument("workload")
@@ -558,6 +656,11 @@ def main(argv=None) -> int:
         runner.configure_disk_cache(args.cache_dir)
     if getattr(args, "workload", None) is not None:
         get_workload(args.workload)  # fail fast with the roster listing
+    tracer = None
+    if args.trace_out:
+        from repro.obs.tracing import Tracer, set_tracer
+
+        tracer = set_tracer(Tracer(process_name=f"repro-{args.command}"))
     handlers = {
         "list": cmd_list,
         "policies": cmd_policies,
@@ -566,6 +669,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "suite": cmd_suite,
         "sweep": cmd_sweep,
+        "timeline": cmd_timeline,
         "cache": cmd_cache,
         "serve": cmd_serve,
         "submit": cmd_submit,
@@ -574,15 +678,26 @@ def main(argv=None) -> int:
         "result": cmd_result,
         "cancel": cmd_cancel,
     }
-    if args.command in ("submit", "jobs", "wait", "result", "cancel"):
-        from repro.service.client import ServiceError
+    try:
+        if args.command in ("submit", "jobs", "wait", "result", "cancel"):
+            from repro.service.client import ServiceError
 
-        try:
-            return handlers[args.command](args)
-        except ServiceError as exc:
-            print(f"service error: {exc}")
-            return 1
-    return handlers[args.command](args)
+            try:
+                return handlers[args.command](args)
+            except ServiceError as exc:
+                print(f"service error: {exc}")
+                return 1
+        return handlers[args.command](args)
+    finally:
+        if tracer is not None:
+            from repro.obs.tracing import set_tracer
+
+            events = tracer.write(args.trace_out)
+            set_tracer(None)
+            print(
+                f"wrote {events} trace events (trace_id {tracer.trace_id}) to "
+                f"{args.trace_out}; open in https://ui.perfetto.dev"
+            )
 
 
 if __name__ == "__main__":

@@ -9,21 +9,29 @@ Routes (all JSON in, JSON out)::
     GET    /jobs/<id>        one job
     GET    /jobs/<id>/result the finished job's SimResult JSON
     DELETE /jobs/<id>        cancel a queued job
-    GET    /healthz          liveness + queue counts
+    GET    /healthz          liveness + queue counts + uptime
     GET    /metrics          telemetry registry dump (service.*, runner.*)
+    GET    /metrics?format=prometheus
+                             the same registry as Prometheus text
+                             exposition (scrapeable by stock tooling)
 
 Errors are ``{"error": <message>}`` with a meaningful status: 400 for a
 bad submission, 404 unknown job, 409 for result-of-unfinished or
-cancel-of-running, 410 when a done job's cache entry was pruned.
+cancel-of-running, 410 when a done job's cache entry was pruned.  Every
+error body is JSON — including the stdlib-generated ones (unsupported
+method, unparseable request line), via the ``send_error`` override.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import prometheus
+from repro.obs.tracing import span
 from repro.service import jobstore
 from repro.service.daemon import SubmitError
 
@@ -57,11 +65,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: Any) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._reply_bytes(status, body, "application/json")
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        self._reply_bytes(status, text.encode("utf-8"), content_type)
+
+    def _reply_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def send_error(self, code, message=None, explain=None) -> None:  # noqa: A002
+        """JSON error bodies even for stdlib-raised errors.
+
+        ``BaseHTTPRequestHandler`` calls this itself for unsupported
+        methods (``PUT /metrics`` → 501) and malformed request lines;
+        the default implementation writes an HTML page, which no JSON
+        client of this API expects.
+        """
+        self._reply(code, {"error": message or self.responses.get(code, ("", ""))[0]})
 
     def _body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -94,16 +119,30 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(404, str(exc)) from None
 
     def _dispatch(self, method: str) -> None:
-        try:
-            collection, job_id, sub, query = self._route()
-            handler = getattr(self, f"_{method}_{collection}", None)
-            if handler is None:
-                raise ApiError(404, f"no route for {method} {self.path!r}")
-            handler(job_id, sub, query)
-        except ApiError as exc:
-            self._reply(exc.status, {"error": exc.message})
-        except Exception as exc:  # noqa: BLE001 — never kill the server thread
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        started = time.perf_counter()
+        self._status = 0
+        with span("http.request", category="http", method=method, path=self.path):
+            try:
+                collection, job_id, sub, query = self._route()
+                handler = getattr(self, f"_{method}_{collection}", None)
+                if handler is None:
+                    raise ApiError(404, f"no route for {method} {self.path!r}")
+                handler(job_id, sub, query)
+            except ApiError as exc:
+                self._reply(exc.status, {"error": exc.message})
+            except Exception as exc:  # noqa: BLE001 — never kill the server thread
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        elapsed = time.perf_counter() - started
+        daemon = self.daemon_ref
+        if daemon.stats.http_request_seconds is not None:
+            daemon.stats.http_request_seconds.observe(elapsed)
+        daemon.log.event(
+            "http_request",
+            method=method,
+            path=self.path,
+            status=self._status,
+            seconds=round(elapsed, 6),
+        )
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         self._dispatch("GET")
@@ -158,13 +197,23 @@ class _Handler(BaseHTTPRequestHandler):
         raise ApiError(409, f"job {job.id} is {job.state}; only queued jobs cancel")
 
     def _GET_healthz(self, job_id, sub, query) -> None:  # noqa: N802
-        if job_id is not None:
-            raise ApiError(404, "GET /healthz")
+        if job_id is not None or sub is not None:
+            raise ApiError(404, f"no route for {self.path!r}; try GET /healthz")
         self._reply(200, self.daemon_ref.health())
 
     def _GET_metrics(self, job_id, sub, query) -> None:  # noqa: N802
-        if job_id is not None:
-            raise ApiError(404, "GET /metrics")
+        if job_id is not None or sub is not None:
+            raise ApiError(404, f"no route for {self.path!r}; try GET /metrics")
+        fmt = (query.get("format") or ["json"])[0]
+        if fmt == "prometheus":
+            self._reply_text(
+                200,
+                prometheus.prometheus_exposition(self.daemon_ref.registry),
+                prometheus.CONTENT_TYPE,
+            )
+            return
+        if fmt != "json":
+            raise ApiError(400, f"unknown format {fmt!r}; choose json or prometheus")
         self._reply(200, {"metrics": self.daemon_ref.metrics()})
 
 

@@ -26,6 +26,7 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cache.replacement import POLICIES
+from repro.obs.logging import StructuredLog
 from repro.service import jobstore
 from repro.service.jobstore import Job, JobStore
 from repro.service.scheduler import Scheduler, ServiceStats
@@ -59,6 +60,7 @@ class ServiceDaemon:
         max_attempts: int = 3,
         drain_seconds: float = 30.0,
         backoff_base: float = 0.5,
+        log_stream=None,
     ) -> None:
         self.store = JobStore(db_path)
         if cache_dir is not None:
@@ -67,6 +69,11 @@ class ServiceDaemon:
             self.cache = runner.disk_cache() or DiskCache()
         self.stats = ServiceStats()
         self.max_attempts = max_attempts
+        self.started_at = time.time()
+        #: structured JSON event log (``log_stream=None`` keeps it off,
+        #: the default for embedded/test daemons; ``repro serve`` passes
+        #: stderr)
+        self.log = StructuredLog(log_stream)
         self.scheduler = Scheduler(
             self.store,
             cache_dir=str(self.cache.root),
@@ -75,11 +82,17 @@ class ServiceDaemon:
             drain_seconds=drain_seconds,
             backoff_base=backoff_base,
             stats=self.stats,
+            log=self.log,
         )
         self.registry = StatRegistry()
-        self.stats.register_stats(self.registry.scope("service"), self.store)
+        service_scope = self.registry.scope("service")
+        self.stats.register_stats(service_scope, self.store)
+        service_scope.gauge(
+            "uptime_seconds",
+            lambda: round(time.time() - self.started_at, 3),
+            doc="seconds since this daemon process started",
+        )
         runner.register_stats(self.registry.scope("runner"))
-        self.started_at = time.time()
         # The HTTP server imports are local so the daemon object stays
         # usable in contexts that never open a socket (unit tests).
         from repro.service.api import make_server
@@ -141,6 +154,10 @@ class ServiceDaemon:
         if timeout is not None:
             timeout = float(timeout)
         key = cache_key(workload, design, config)
+        if self.stats.queue_depth_samples is not None:
+            self.stats.queue_depth_samples.observe(
+                self.store.counts()[jobstore.QUEUED]
+            )
 
         if self.cache.get(key) is not None:
             # Identity already solved: record an instantly-done job.
@@ -168,6 +185,13 @@ class ServiceDaemon:
         )
         if created:
             self.stats.submitted += 1
+            self.log.event(
+                "job_submitted",
+                job_id=job.id,
+                workload=workload_name,
+                design=design,
+                priority=priority,
+            )
         else:
             self.stats.dedup_active += 1
         return job, created
@@ -177,10 +201,12 @@ class ServiceDaemon:
         return self.cache.get(job.key)
 
     def health(self) -> Dict[str, Any]:
+        counts = self.store.counts()
         return {
             "ok": True,
             "uptime_seconds": round(time.time() - self.started_at, 3),
-            "queue": self.store.counts(),
+            "queue": counts,
+            "queue_depth": counts[jobstore.QUEUED],
             "inflight": self.scheduler.inflight,
             "workers": self.scheduler.workers,
             "draining": self.scheduler.stopping,

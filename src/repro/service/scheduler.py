@@ -33,12 +33,17 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, Optional, Tuple
 
+from repro.obs.logging import StructuredLog
+from repro.obs.tracing import async_begin, async_end
 from repro.service import jobstore
 from repro.service.jobstore import Job, JobStore
 from repro.sim import parallel
 from repro.sim.config import SimConfig, bench_config
 from repro.telemetry import StatScope
 from repro.workloads.suites import get_workload
+
+#: Queue-depth histogram bounds (jobs waiting at submission time).
+QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
 
 
 @dataclasses.dataclass
@@ -58,15 +63,34 @@ class ServiceStats:
     orphans_recovered: int = 0
     drain_requeued: int = 0
 
+    # Distribution stats (not dataclass fields: they live in the registry
+    # and are bound here by register_stats so call sites can observe into
+    # them; ``None`` until a registry exists, so bare ``ServiceStats()``
+    # instances in unit tests stay inert).
+    job_seconds = None
+    queue_depth_samples = None
+    http_request_seconds = None
+
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
 
     def register_stats(self, scope: StatScope, store: JobStore) -> None:
-        """Expose service counters plus queue-depth gauges under ``scope``."""
+        """Expose service counters plus queue/latency stats under ``scope``."""
         for name in self.as_dict():
             scope.counter(name, (lambda n=name: getattr(self, n)))
         scope.gauge("queue_depth", lambda: store.counts()[jobstore.QUEUED])
         scope.gauge("running", lambda: store.counts()[jobstore.RUNNING])
+        self.job_seconds = scope.histogram(
+            "job_seconds", doc="dispatch-to-completion wall time of finished jobs"
+        )
+        self.queue_depth_samples = scope.histogram(
+            "queue_depth_samples",
+            buckets=QUEUE_DEPTH_BUCKETS,
+            doc="queue depth observed at each submission",
+        )
+        self.http_request_seconds = scope.histogram(
+            "http_request_seconds", doc="HTTP request handling duration"
+        )
 
 
 def job_config(job: Job) -> SimConfig:
@@ -89,6 +113,7 @@ class Scheduler:
         backoff_max: float = 60.0,
         drain_seconds: float = 30.0,
         stats: Optional[ServiceStats] = None,
+        log: Optional[StructuredLog] = None,
     ) -> None:
         self.store = store
         self.cache_dir = cache_dir
@@ -100,10 +125,11 @@ class Scheduler:
         self.backoff_max = backoff_max
         self.drain_seconds = drain_seconds
         self.stats = stats or ServiceStats()
+        self.log = log or StructuredLog()
         self._stop = threading.Event()
         self._pool: Optional[ProcessPoolExecutor] = None
-        #: job id -> (job, future, absolute deadline or None)
-        self._inflight: Dict[str, Tuple[Job, Future, Optional[float]]] = {}
+        #: job id -> (job, future, absolute deadline or None, dispatch time)
+        self._inflight: Dict[str, Tuple[Job, Future, Optional[float], float]] = {}
 
     # -- control ---------------------------------------------------------
 
@@ -125,6 +151,9 @@ class Scheduler:
         """Block, executing jobs until :meth:`request_stop`; then drain."""
         orphans = self.store.recover_orphans()
         self.stats.orphans_recovered += len(orphans)
+        self.log.event(
+            "scheduler_started", workers=self.workers, orphans_recovered=len(orphans)
+        )
         self._pool = self._new_pool()
         try:
             while not self._stop.is_set():
@@ -179,7 +208,21 @@ class Scheduler:
             future = self._pool.submit(parallel.run_job, (workload, job.design, config))
             timeout = job.timeout if job.timeout is not None else self.default_timeout
             deadline = (time.time() + timeout) if timeout else None
-            self._inflight[job.id] = (job, future, deadline)
+            self._inflight[job.id] = (job, future, deadline, time.perf_counter())
+            async_begin(
+                "service.job",
+                job.id,
+                category="service",
+                workload=job.workload,
+                design=job.design,
+            )
+            self.log.event(
+                "job_dispatched",
+                job_id=job.id,
+                workload=job.workload,
+                design=job.design,
+                attempt=job.attempts,
+            )
         return dispatched
 
     def _reap(self) -> bool:
@@ -187,18 +230,34 @@ class Scheduler:
         progressed = False
         now = time.time()
         timed_out: Optional[Tuple[Job, Future]] = None
-        for job_id, (job, future, deadline) in list(self._inflight.items()):
+        for job_id, (job, future, deadline, started) in list(self._inflight.items()):
             if future.done():
                 del self._inflight[job_id]
                 progressed = True
+                elapsed = time.perf_counter() - started
+                if self.stats.job_seconds is not None:
+                    self.stats.job_seconds.observe(elapsed)
                 try:
                     result, source, _seconds = future.result()
                 except Exception as exc:  # noqa: BLE001 — worker error is data
-                    self._record_failure(job, f"{type(exc).__name__}: {exc}")
+                    error = f"{type(exc).__name__}: {exc}"
+                    async_end(
+                        "service.job", job_id, category="service", outcome="failed"
+                    )
+                    self._record_failure(job, error)
                 else:
                     del result  # persisted by the worker via the disk cache
                     self.store.finish(job_id, source)
                     self.stats.completed += 1
+                    async_end(
+                        "service.job", job_id, category="service", outcome="done"
+                    )
+                    self.log.event(
+                        "job_completed",
+                        job_id=job_id,
+                        source=source,
+                        seconds=round(elapsed, 6),
+                    )
             elif deadline is not None and now > deadline:
                 timed_out = (job, future)
         if timed_out is not None:
@@ -210,10 +269,14 @@ class Scheduler:
         """Kill the pool (stuck worker), requeue bystanders, rebuild."""
         self.stats.timeouts += 1
         self._kill_pool()
-        for other_id, (other, _future, _deadline) in list(self._inflight.items()):
+        for other_id, (other, _future, _deadline, _started) in list(
+            self._inflight.items()
+        ):
             if other_id != job.id:
                 self.store.requeue(other_id, refund_attempt=True)
         self._inflight.clear()
+        async_end("service.job", job.id, category="service", outcome="timeout")
+        self.log.event("job_timeout", job_id=job.id)
         self._record_failure(job, "timeout: job exceeded its deadline")
         self._pool = self._new_pool()
 
@@ -225,9 +288,19 @@ class Scheduler:
             )
             self.store.fail(job.id, error, retry_delay=delay)
             self.stats.retried += 1
+            self.log.event(
+                "job_retried",
+                job_id=job.id,
+                error=error,
+                attempt=job.attempts,
+                retry_delay=delay,
+            )
         else:
             self.store.fail(job.id, error)
             self.stats.failed += 1
+            self.log.event(
+                "job_failed", job_id=job.id, error=error, attempt=job.attempts
+            )
 
     # -- drain -----------------------------------------------------------
 
@@ -242,7 +315,11 @@ class Scheduler:
             for job_id in list(self._inflight):
                 self.store.requeue(job_id, refund_attempt=True)
                 self.stats.drain_requeued += 1
+                async_end(
+                    "service.job", job_id, category="service", outcome="drained"
+                )
             self._inflight.clear()
+        self.log.event("scheduler_drained", requeued=self.stats.drain_requeued)
 
 
 __all__ = ["Scheduler", "ServiceStats", "job_config"]

@@ -39,6 +39,7 @@ try:  # advisory write locking (POSIX); harmless to run without it
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.obs.tracing import span
 from repro.sim.results import ResultDecodeError, SimResult
 
 #: Bump to invalidate every previously stored entry (key-side version).
@@ -162,24 +163,25 @@ class DiskCache:
 
     def get(self, key: str) -> Optional[SimResult]:
         """The cached result for ``key``, or ``None`` (counted as a miss)."""
-        path = self._path(key)
-        try:
-            text = path.read_text()
-        except OSError:
-            self.counters.misses += 1
-            return None
-        try:
-            result = SimResult.from_json(text)
-        except ResultDecodeError:
-            self.counters.misses += 1
-            self.counters.evicted_corrupt += 1
+        with span("diskcache.get", category="cache", key=key[:12]):
+            path = self._path(key)
             try:
-                path.unlink()
+                text = path.read_text()
             except OSError:
-                pass
-            return None
-        self.counters.hits += 1
-        return result
+                self.counters.misses += 1
+                return None
+            try:
+                result = SimResult.from_json(text)
+            except ResultDecodeError:
+                self.counters.misses += 1
+                self.counters.evicted_corrupt += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            self.counters.hits += 1
+            return result
 
     @contextlib.contextmanager
     def _write_lock(self, key: str):
@@ -207,6 +209,10 @@ class DiskCache:
 
     def put(self, key: str, result: SimResult) -> None:
         """Persist ``result`` under ``key`` (atomic, locked, last writer wins)."""
+        with span("diskcache.put", category="cache", key=key[:12]):
+            self._put_locked(key, result)
+
+    def _put_locked(self, key: str, result: SimResult) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         with self._write_lock(key):

@@ -21,6 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.tracing import instant, span
 from repro.sim import runner
 from repro.sim.config import SimConfig, bench_config
 from repro.sim.diskcache import cache_key
@@ -62,9 +63,13 @@ class BatchReport:
         }
 
     def metrics_matrix(self) -> List[Dict[str, Any]]:
-        """One JSON-ready row per job: workload, design, telemetry mapping."""
+        """One JSON-ready row per job: workload, design, telemetry mapping.
+
+        Metric keys are sorted so dumped matrices are byte-stable across
+        runs and serializers that preserve insertion order.
+        """
         return [
-            {"workload": w, "design": d, "metrics": dict(result.metrics)}
+            {"workload": w, "design": d, "metrics": dict(sorted(result.metrics.items()))}
             for (w, d), result in zip(self.job_names, self.results)
         ]
 
@@ -114,22 +119,41 @@ def run_batch(
         cache_dir = str(runner.disk_cache().root)
     report = BatchReport(jobs_used=max(1, jobs or 1))
     start = time.perf_counter()
-    if report.jobs_used <= 1:
-        outcomes = [run_job((w, d, config)) for w, d in resolved]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=report.jobs_used,
-            initializer=init_worker,
-            initargs=(cache_dir,),
-        ) as pool:
-            outcomes = list(pool.map(run_job, [(w, d, config) for w, d in resolved]))
-    report.wall_seconds = time.perf_counter() - start
-    for (workload, design), (result, source, seconds) in zip(resolved, outcomes):
-        runner.adopt(cache_key(workload, design, config), result)
-        report.results.append(result)
-        report.job_names.append((workload.name, design))
-        report.sources.append(source)
-        report.seconds.append(seconds)
+    # Tracing is parent-side only: worker processes cannot share the
+    # parent's tracer, so the batch is one span and each completed job
+    # lands as an instant with its provenance and wall time.
+    with span(
+        "sweep.run_batch",
+        category="sweep",
+        jobs=len(resolved),
+        workers=report.jobs_used,
+    ):
+        if report.jobs_used <= 1:
+            outcomes = [run_job((w, d, config)) for w, d in resolved]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=report.jobs_used,
+                initializer=init_worker,
+                initargs=(cache_dir,),
+            ) as pool:
+                outcomes = list(
+                    pool.map(run_job, [(w, d, config) for w, d in resolved])
+                )
+        report.wall_seconds = time.perf_counter() - start
+        for (workload, design), (result, source, seconds) in zip(resolved, outcomes):
+            instant(
+                "sweep.job_done",
+                category="sweep",
+                workload=workload.name,
+                design=design,
+                source=source,
+                seconds=round(seconds, 6),
+            )
+            runner.adopt(cache_key(workload, design, config), result)
+            report.results.append(result)
+            report.job_names.append((workload.name, design))
+            report.sources.append(source)
+            report.seconds.append(seconds)
     return report
 
 

@@ -8,6 +8,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.types import Category
 from repro.dram.system import DRAMStats
+from repro.obs.timeseries import TimeSeries, TimeSeriesDecodeError
 from repro.telemetry import MetricValue
 
 #: Version of the :class:`SimResult` JSON wire format.  Bump whenever the
@@ -15,7 +16,13 @@ from repro.telemetry import MetricValue
 #: that previously cached results must not be reused — every persisted
 #: result embeds this and the disk cache treats a mismatch as a miss.
 #: v2: added the ``metrics`` mapping (telemetry-registry paths).
-RESULT_SCHEMA_VERSION = 2
+#: v3: added the optional ``timeseries`` envelope (interval sampling).
+#: v2 payloads still decode (the added field is optional and the
+#: simulation semantics are unchanged), so warm disk caches survive.
+RESULT_SCHEMA_VERSION = 3
+
+#: Schema versions :meth:`SimResult.from_json_dict` accepts.
+SUPPORTED_SCHEMA_VERSIONS = (2, RESULT_SCHEMA_VERSION)
 
 
 class ResultDecodeError(ValueError):
@@ -46,6 +53,11 @@ class SimResult:
     #: ``ptmc.llp.accuracy``, ...); the legacy fields above are projections
     #: of this mapping kept for established consumers.
     metrics: Dict[str, MetricValue] = field(default_factory=dict)
+    #: phase-resolved telemetry samples (``None`` unless the run was
+    #: observed with an :class:`~repro.obs.sampler.ObsConfig` that
+    #: enabled interval sampling); purely additive — core metrics are
+    #: identical with or without it.
+    timeseries: Optional[TimeSeries] = None
 
     @property
     def elapsed_cycles(self) -> int:
@@ -104,8 +116,13 @@ class SimResult:
             "demand_accesses": self.demand_accesses,
             "llp_accuracy": self.llp_accuracy,
             "metadata_hit_rate": self.metadata_hit_rate,
-            "extras": dict(self.extras),
-            "metrics": dict(self.metrics),
+            "extras": dict(sorted(self.extras.items())),
+            # sorted paths: dumped metrics diff deterministically even
+            # through serializers that preserve insertion order
+            "metrics": dict(sorted(self.metrics.items())),
+            "timeseries": (
+                None if self.timeseries is None else self.timeseries.to_json_dict()
+            ),
         }
 
     @classmethod
@@ -114,11 +131,20 @@ class SimResult:
         if not isinstance(payload, dict):
             raise ResultDecodeError("result payload is not an object")
         schema = payload.get("schema")
-        if schema != RESULT_SCHEMA_VERSION:
+        if schema not in SUPPORTED_SCHEMA_VERSIONS:
             raise ResultDecodeError(
-                f"result schema {schema!r} != supported {RESULT_SCHEMA_VERSION}"
+                f"result schema {schema!r} not in supported {SUPPORTED_SCHEMA_VERSIONS}"
             )
         try:
+            timeseries_payload = payload.get("timeseries") if schema >= 3 else None
+            try:
+                timeseries = (
+                    None
+                    if timeseries_payload is None
+                    else TimeSeries.from_json_dict(timeseries_payload)
+                )
+            except TimeSeriesDecodeError as exc:
+                raise ResultDecodeError(str(exc)) from exc
             dram_payload = payload["dram"]
             dram = DRAMStats(
                 accesses_by_category={
@@ -154,6 +180,7 @@ class SimResult:
                     str(k): (int(v) if isinstance(v, int) else float(v))
                     for k, v in payload["metrics"].items()
                 },
+                timeseries=timeseries,
             )
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ResultDecodeError(f"malformed result payload: {exc}") from exc

@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.obs.sampler import ObsConfig
+from repro.obs.tracing import span
 from repro.sim.config import SimConfig, bench_config
 from repro.sim.diskcache import DiskCache, cache_key
 from repro.sim.results import SimResult, geometric_mean, weighted_speedup
@@ -92,15 +94,37 @@ def resolve_workload(workload) -> Workload:
     return workload
 
 
-def _execute(workload: Workload, design: str, config: SimConfig) -> SimResult:
+def _execute(
+    workload: Workload,
+    design: str,
+    config: SimConfig,
+    obs: Optional[ObsConfig] = None,
+) -> SimResult:
     start = time.perf_counter()
-    result = SimulatedSystem(workload, design, config).run()
+    with span(
+        "runner.execute", category="runner", design=design, workload=workload.name
+    ):
+        result = SimulatedSystem(workload, design, config, obs=obs).run()
     elapsed = time.perf_counter() - start
     result.extras["sim_seconds"] = elapsed
     stats.executed += 1
     stats.sim_seconds += elapsed
     stats.run_seconds.append(elapsed)
     return result
+
+
+def _obs_satisfied(result: SimResult, obs: Optional[ObsConfig]) -> bool:
+    """Whether a cached result carries the telemetry ``obs`` asks for.
+
+    Observability is not part of the cache key (it must never perturb
+    result identity), so a hit may predate the sampling request.  Such a
+    hit is still *correct* — core metrics are identical either way — but
+    it lacks the requested timeseries, so the runner re-executes and
+    overwrites the stored entry with the richer one.
+    """
+    if obs is None or not obs.sampling:
+        return True
+    return result.timeseries is not None and result.timeseries.interval == obs.sample_interval
 
 
 def _serve_hit(result: SimResult, started: float) -> SimResult:
@@ -127,30 +151,34 @@ def simulate_with_source(
     design: str,
     config: Optional[SimConfig] = None,
     use_cache: bool = True,
+    obs: Optional[ObsConfig] = None,
 ) -> Tuple[SimResult, str]:
     """Like :func:`simulate`, also reporting where the result came from.
 
     The source is one of ``"memory"``, ``"disk"`` or ``"executed"``.
     Cache hits are served as marked copies — see :func:`_serve_hit`.
+    When ``obs`` requests interval sampling, a cached result without a
+    matching timeseries is treated as a miss: the run re-executes (same
+    core metrics, by construction) and the cached entry is upgraded.
     """
     workload = resolve_workload(workload)
     if config is None:
         config = bench_config()
     if not use_cache:
-        return _execute(workload, design, config), "executed"
+        return _execute(workload, design, config, obs=obs), "executed"
     started = time.perf_counter()
     key = cache_key(workload, design, config)
     cached = _memo.get(key)
-    if cached is not None:
+    if cached is not None and _obs_satisfied(cached, obs):
         stats.memory_hits += 1
         return _serve_hit(cached, started), "memory"
     if _disk is not None:
         loaded = _disk.get(key)
-        if loaded is not None:
+        if loaded is not None and _obs_satisfied(loaded, obs):
             stats.disk_hits += 1
             _memo[key] = loaded
             return _serve_hit(loaded, started), "disk"
-    result = _execute(workload, design, config)
+    result = _execute(workload, design, config, obs=obs)
     _memo[key] = result
     if _disk is not None:
         _disk.put(key, result)
@@ -162,9 +190,10 @@ def simulate(
     design: str,
     config: Optional[SimConfig] = None,
     use_cache: bool = True,
+    obs: Optional[ObsConfig] = None,
 ) -> SimResult:
     """Run one simulation (memo -> disk cache -> execute)."""
-    result, _ = simulate_with_source(workload, design, config, use_cache)
+    result, _ = simulate_with_source(workload, design, config, use_cache, obs=obs)
     return result
 
 

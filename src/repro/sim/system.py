@@ -19,6 +19,8 @@ from repro.core.uncompressed import UncompressedController
 from repro.cpu.core import CoreModel
 from repro.dram.storage import PhysicalMemory
 from repro.dram.system import DRAMStats, DRAMSystem
+from repro.obs.sampler import IntervalSampler, ObsConfig
+from repro.obs.tracing import span
 from repro.sim.config import SimConfig
 from repro.sim.results import SimResult
 from repro.telemetry import Metrics, StatRegistry
@@ -82,10 +84,17 @@ def build_controller(
 class SimulatedSystem:
     """An 8-core system running one workload on one memory design."""
 
-    def __init__(self, workload, design: str, config: SimConfig):
+    def __init__(
+        self,
+        workload,
+        design: str,
+        config: SimConfig,
+        obs: Optional[ObsConfig] = None,
+    ):
         self.workload = workload
         self.design = design
         self.config = config
+        self.obs = obs or ObsConfig()
         self.page_table = PageTable(config.capacity_lines, seed=config.seed + 99)
         self.generators: List[WorkloadTraceGenerator] = [
             WorkloadTraceGenerator(self._spec_for_core(core), core)
@@ -123,6 +132,24 @@ class SimulatedSystem:
             for core in range(config.num_cores)
         ]
         self.registry = self._build_registry()
+        self.sampler = self._make_sampler()
+
+    def _make_sampler(self) -> Optional[IntervalSampler]:
+        """Interval sampler over the registry, when observation asks for one.
+
+        Strictly read-only: the sampler windows the same sourced stats
+        the end-of-run collection reads, so its presence cannot change a
+        single simulated outcome (``tests/test_obs_golden.py``).
+        """
+        if not self.obs.sampling:
+            return None
+        return IntervalSampler(
+            self.registry,
+            self.obs.sample_interval,
+            paths=self.obs.sample_paths,
+            phase="warmup" if self.config.warmup_ops else "measured",
+            trace_counters=self.obs.trace_counters,
+        )
 
     def _make_batch(self) -> Optional[BatchCompressor]:
         """Batch front-end for the controller's compressor, if seedable.
@@ -155,7 +182,8 @@ class SimulatedSystem:
         """Seed the compressor's size memo from one pre-decoded chunk."""
         lines = chunk.write_lines()
         if lines:
-            self.batch.precompute(lines)
+            with span("batch.precompute", category="sim", lines=len(lines)):
+                self.batch.precompute(lines)
 
     def _build_registry(self) -> StatRegistry:
         """One registry spanning every stat-bearing component.
@@ -196,12 +224,27 @@ class SimulatedSystem:
 
     def run(self) -> SimResult:
         """Event-driven run: warmup phase, registry snapshot, measured phase."""
-        warmup = self.config.warmup_ops
-        if warmup:
-            self._run_phase(lambda core: core.mem_ops < warmup)
-        baseline = self.registry.snapshot()
-        self._run_phase(None)
-        return self._collect(self.registry.delta(baseline))
+        with span(
+            "sim.run",
+            category="sim",
+            design=self.design,
+            workload=self.workload.name,
+        ):
+            warmup = self.config.warmup_ops
+            if warmup:
+                with span("sim.phase", category="sim", phase="warmup"):
+                    self._run_phase(lambda core: core.mem_ops < warmup)
+            baseline = self.registry.snapshot()
+            if self.sampler is not None:
+                # after the baseline snapshot (same instant, same values):
+                # the flushed point closes the warmup phase and the first
+                # measured point windows from the measurement boundary
+                self.sampler.mark_phase("measured")
+            with span("sim.phase", category="sim", phase="measured"):
+                self._run_phase(None)
+            if self.sampler is not None:
+                self.sampler.finish()
+            return self._collect(self.registry.delta(baseline))
 
     def _run_phase(self, keep_running) -> None:
         """Step cores in global-time order while ``keep_running`` allows."""
@@ -211,10 +254,14 @@ class SimulatedSystem:
             if not core.done and (keep_running is None or keep_running(core))
         ]
         heapq.heapify(heap)
+        sampler = self.sampler
         while heap:
             _, core_id = heapq.heappop(heap)
             core = self.cores[core_id]
-            if core.step() and (keep_running is None or keep_running(core)):
+            stepped = core.step()
+            if stepped and sampler is not None:
+                sampler.on_access()
+            if stepped and (keep_running is None or keep_running(core)):
                 heapq.heappush(heap, (core.time, core_id))
 
     def _measured_dram(self, metrics: Metrics) -> DRAMStats:
@@ -276,4 +323,6 @@ class SimulatedSystem:
             result.extras["compression_enabled_final"] = metrics[
                 "policy.compression_enabled"
             ]
+        if self.sampler is not None:
+            result.timeseries = self.sampler.timeseries()
         return result

@@ -9,11 +9,12 @@ no per-component reset or delta code anywhere.
 """
 
 from repro.telemetry.registry import Metrics, Snapshot, StatRegistry, StatScope
-from repro.telemetry.stats import Counter, Gauge, MetricValue, RatioStat, Stat
+from repro.telemetry.stats import Counter, Gauge, Histogram, MetricValue, RatioStat, Stat
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricValue",
     "Metrics",
     "RatioStat",

@@ -21,7 +21,15 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.telemetry.stats import Counter, Gauge, MetricValue, RatioStat, Source, Stat
+from repro.telemetry.stats import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricValue,
+    RatioStat,
+    Source,
+    Stat,
+)
 
 #: One path segment: lowercase alphanumerics and underscores (``core.0``
 #: style numeric segments included).
@@ -75,6 +83,14 @@ class StatScope:
 
     def gauge(self, name: str, source: Optional[Source] = None, doc: str = "") -> Gauge:
         return self._registry.register(self.path(name), Gauge(source, doc=doc))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        doc: str = "",
+    ) -> Histogram:
+        return self._registry.register(self.path(name), Histogram(buckets, doc=doc))
 
     def ratio(
         self,

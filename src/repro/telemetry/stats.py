@@ -113,6 +113,69 @@ class Gauge(Stat):
         return self.read()
 
 
+class Histogram(Stat):
+    """Bucketed observations (latencies, depths) with cumulative counts.
+
+    Prometheus-shaped: ``buckets`` are upper bounds (``le``), counts are
+    cumulative per bucket with an implicit ``+Inf`` bucket, and the
+    running ``sum``/``count`` ride along — exactly what the text
+    exposition needs, with no windowing (Prometheus histograms are
+    cumulative by design).  In the registry's JSON ``delta`` mapping a
+    histogram reports its windowed observation *count*; the full
+    distribution is only meaningful through
+    :func:`repro.obs.prometheus.prometheus_exposition`.
+    """
+
+    kind = "histogram"
+
+    #: Prometheus' default latency buckets (seconds).
+    DEFAULT_BUCKETS = (
+        0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    )
+
+    def __init__(
+        self, buckets: Optional[Sequence[float]] = None, doc: str = ""
+    ) -> None:
+        super().__init__(doc)
+        bounds = tuple(sorted(buckets if buckets is not None else self.DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bucket bounds must be distinct")
+        self.bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: MetricValue) -> None:
+        """Record one observation into every bucket it fits."""
+        self._sum += value
+        self._count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._bucket_counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> Tuple[Tuple[float, int], ...]:
+        """``(le, cumulative count)`` pairs, excluding the ``+Inf`` bucket."""
+        return tuple(zip(self.bounds, self._bucket_counts))
+
+    def read(self):
+        return (self._count, self._sum, tuple(self._bucket_counts))
+
+    def measured(self, base) -> MetricValue:
+        if base is None:
+            return self._count
+        return self._count - base[0]
+
+
 class RatioStat(Stat):
     """``numerator / sum(denominators)`` over the measurement window.
 
@@ -162,4 +225,12 @@ class RatioStat(Stat):
         return 1.0 - value if self._one_minus else value
 
 
-__all__ = ["Counter", "Gauge", "MetricValue", "RatioStat", "Source", "Stat"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricValue",
+    "RatioStat",
+    "Source",
+    "Stat",
+]

@@ -151,6 +151,133 @@ class TestCommands:
         assert "removed" in out
 
 
+class TestTimelineCLI:
+    ARGS = ["--ops", "200", "--warmup", "100", "timeline", "lbm06", "ideal"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["timeline", "lbm06", "ideal"])
+        assert args.command == "timeline"
+        assert args.interval == 2000
+        assert args.metrics is None
+        assert not args.no_warmup
+
+    def test_timeline_renders_sparklines(self, capsys):
+        assert main([*self.ARGS, "--interval", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "samples @ 300 accesses/interval" in out
+        assert "dram.reads" in out
+        assert "warmup | measured" in out
+        assert any(glyph in out for glyph in "▁▂▃▄▅▆▇█")
+
+    def test_timeline_json_is_the_raw_series(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--interval", "300", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interval"] == 300
+        assert payload["points"]
+        assert all(p["phase"] in ("warmup", "measured") for p in payload["points"])
+
+    def test_timeline_metric_selection(self, capsys):
+        assert main(
+            [*self.ARGS, "--interval", "300", "--metrics", "llc.misses"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "llc.misses" in out
+        assert "dram.reads" not in out
+
+    def test_timeline_unknown_metric_is_an_error(self, capsys):
+        assert main(
+            [*self.ARGS, "--interval", "300", "--metrics", "no.such.path"]
+        ) == 2
+        assert "unknown metric path" in capsys.readouterr().out
+
+    def test_timeline_replays_from_cache_with_series(self, capsys):
+        assert main([*self.ARGS, "--interval", "300"]) == 0
+        capsys.readouterr()
+        before = runner.stats.executed
+        assert main([*self.ARGS, "--interval", "300"]) == 0
+        assert "samples @ 300" in capsys.readouterr().out
+        assert runner.stats.executed == before  # served from cache
+
+    def test_trace_out_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.tracing import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "--ops", "200", "--warmup", "100",
+                "--trace-out", str(trace_path),
+                "run", "lbm06", "ideal",
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) > 0
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"sim.run", "sim.phase", "runner.execute"} <= names
+
+
+class TestSortedKeyOrdering:
+    """The stable-ordering satellite: dumped JSON keys arrive sorted."""
+
+    def test_stats_json_keys_are_sorted(self, capsys):
+        import json
+
+        assert main(
+            ["--ops", "150", "--warmup", "50", "stats", "lbm06", "ideal", "--json"]
+        ) == 0
+        text = capsys.readouterr().out
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+        # byte-level too: the serialized order is the sorted order
+        assert text.index('"core.0.cycles"') < text.index('"dram.reads"')
+
+    def test_dump_metrics_rows_are_sorted(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "--ops", "150", "--warmup", "50",
+                "sweep", "spec17", "--designs", "ideal",
+                "--dump-metrics", str(out_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        for row in json.loads(out_path.read_text()):
+            keys = list(row["metrics"])
+            assert keys == sorted(keys)
+
+    def test_metrics_matrix_is_sorted_at_source(self):
+        from repro.sim.config import bench_config
+        from repro.sim.parallel import run_batch
+
+        report = run_batch(
+            [("lbm06", "ideal")],
+            config=bench_config(ops_per_core=150, warmup_ops=50),
+        )
+        for row in report.metrics_matrix():
+            keys = list(row["metrics"])
+            assert keys == sorted(keys)
+
+    def test_result_json_dict_orders_metrics_and_extras(self):
+        from repro.sim.config import quick_config
+        from repro.sim.system import SimulatedSystem
+        from repro.workloads.generators import spec_like
+
+        result = SimulatedSystem(
+            spec_like("ordered", seed=5),
+            "static_ptmc",
+            quick_config(ops_per_core=200, warmup_ops=100),
+        ).run()
+        payload = result.to_json_dict()
+        assert list(payload["metrics"]) == sorted(payload["metrics"])
+        assert list(payload["extras"]) == sorted(payload["extras"])
+
+
 class TestRunnerTelemetrySatellite:
     def test_stats_reports_runner_counters(self, capsys):
         assert main(

@@ -43,6 +43,13 @@ def run_default(design: str) -> dict:
     payload["metrics"] = {
         k: v for k, v in payload["metrics"].items() if k not in ADDED_METRICS
     }
+    # Envelope-only wire-format churn since the fixtures were captured:
+    # v3 tags a new schema number and an optional (here absent)
+    # ``timeseries`` member.  Neither carries simulation output, so they
+    # are normalised away and every *simulated* value still compares
+    # bit for bit.
+    assert payload.pop("timeseries") is None
+    payload.pop("schema")
     return payload
 
 
@@ -50,6 +57,7 @@ def run_default(design: str) -> dict:
 def test_default_lru_bitwise_identical_to_prerefactor(design):
     fixture_path = GOLDEN_DIR / f"prepolicy_{design}.json"
     want = json.loads(fixture_path.read_text())
+    want.pop("schema")
     got = run_default(design)
     assert got == want
 

@@ -6,6 +6,12 @@ driven through :class:`repro.service.client.ServiceClient` — the same
 path the CLI verbs use.
 """
 
+import io
+import json
+import re
+import urllib.error
+import urllib.request
+
 import pytest
 
 from repro.service import jobstore
@@ -173,6 +179,82 @@ class TestApiSurface:
         # the runner satellite: execution counters share the registry
         assert "runner.executed" in metrics
         assert "runner.disk.stores" in metrics
+
+
+def http_get(url: str):
+    """``(status, content_type, body)`` without raising on HTTP errors."""
+    try:
+        with urllib.request.urlopen(url) as resp:
+            return resp.status, resp.headers["Content-Type"], resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers["Content-Type"], err.read().decode()
+
+
+class TestObservabilityEndpoints:
+    def test_prometheus_exposition_scrapes(self, daemon):
+        client = ServiceClient(daemon.url)
+        job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        client.wait(job["id"], timeout=120)
+        status, ctype, text = http_get(f"{daemon.url}/metrics?format=prometheus")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert re.search(r"^repro_service_completed_total 1$", text, re.M)
+        assert re.search(r"^repro_service_uptime_seconds \d", text, re.M)
+        # histograms made it through with their +Inf bucket intact
+        assert re.search(
+            r'^repro_service_job_seconds_bucket\{le="\+Inf"\} 1$', text, re.M
+        )
+        assert re.search(r"^repro_service_http_request_seconds_count \d+$", text, re.M)
+        assert re.search(r"^repro_service_queue_depth_samples_count 1$", text, re.M)
+
+    def test_unknown_metrics_format_is_400_json(self, paused_daemon):
+        status, ctype, body = http_get(f"{paused_daemon.url}/metrics?format=xml")
+        assert status == 400
+        assert ctype == "application/json"
+        assert "unknown format" in json.loads(body)["error"]
+
+    def test_metrics_subpath_is_404_json(self, paused_daemon):
+        for path in ("/metrics/foo", "/metrics/foo/bar", "/healthz/nope"):
+            status, ctype, body = http_get(f"{paused_daemon.url}{path}")
+            assert status == 404
+            assert ctype == "application/json"
+            assert "no route" in json.loads(body)["error"]
+
+    def test_unsupported_method_gets_json_error(self, paused_daemon):
+        request = urllib.request.Request(
+            f"{paused_daemon.url}/metrics", method="PUT"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 501
+        assert err.value.headers["Content-Type"] == "application/json"
+        assert "error" in json.loads(err.value.read())
+
+    def test_healthz_reports_uptime_and_queue_depth(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+        health = client.healthz()
+        assert health["uptime_seconds"] >= 0
+        assert health["queue_depth"] == 1
+
+    def test_structured_log_records_requests_and_jobs(self, tmp_path):
+        stream = io.StringIO()
+        daemon = make_daemon(tmp_path, log_stream=stream)
+        try:
+            client = ServiceClient(daemon.url)
+            job = client.submit("lbm06", "ideal", ops=OPS, warmup=WARMUP)
+            client.wait(job["id"], timeout=120)
+        finally:
+            daemon.stop()
+        records = [json.loads(line) for line in stream.getvalue().splitlines()]
+        events = {record["event"] for record in records}
+        assert {"job_submitted", "job_dispatched", "job_completed",
+                "http_request"} <= events
+        for record in records:
+            assert {"ts", "event"} <= set(record)
+        completed = next(r for r in records if r["event"] == "job_completed")
+        assert completed["job_id"] == job["id"]
+        assert completed["seconds"] >= 0
 
 
 class TestPolicySubmission:
