@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate the committed example trace (``example_mix.trace``).
+
+The trace is a small, deterministic ChampSim-style text trace that mixes
+the three access shapes the PTMC designs care about:
+
+* a sequential read stream (prefetch-friendly, high row-buffer hit rate),
+* a strided read/write sweep over a medium working set (tests set-index
+  spread in the LLC and compression of repeated lines), and
+* a small hot set of read-modify-write lines (reuse distance ~ tens,
+  exercises the metadata cache and inline-metadata paths).
+
+Run from the repository root::
+
+    python examples/traces/gen_example_trace.py
+
+The output is byte-stable (fixed seed, sorted emission order), so a
+regeneration that produces a diff means the generator changed — the
+content hash of the ingested trace is part of disk-cache keys, so treat
+that as a breaking change for cached results.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+SEED = 20190216  # HPCA 2019 conference date — fixed forever
+OUT = Path(__file__).resolve().parent / "example_mix.trace"
+
+LINE = 64
+
+# Three address regions, line-aligned, deliberately far apart.
+STREAM_BASE = 0x1000_0000
+SWEEP_BASE = 0x2000_0000
+HOT_BASE = 0x3000_0000
+
+# Sized against bench_config's 256KB (4096-line) L3: the combined
+# footprint (~9.2k lines, ~580KB) exceeds it ~2.3x, so the sweep misses
+# and the designs' DRAM behavior actually differs.
+STREAM_LINES = 6144  # one pass, sequential
+SWEEP_LINES = 3072  # two passes, stride 5 lines (coprime: full coverage), 1-in-4 writes
+HOT_LINES = 16  # hammered read+write pairs
+
+
+def records():
+    rng = random.Random(SEED)
+    stream = [("r", STREAM_BASE + i * LINE) for i in range(STREAM_LINES)]
+    sweep = []
+    for _pass in range(2):
+        for i in range(SWEEP_LINES):
+            addr = SWEEP_BASE + ((i * 5) % SWEEP_LINES) * LINE
+            op = "w" if i % 4 == 0 else "r"
+            sweep.append((op, addr))
+    hot = []
+    for _ in range(384):
+        line = rng.randrange(HOT_LINES)
+        addr = HOT_BASE + line * LINE
+        hot.append(("r", addr))
+        hot.append(("w", addr))
+    # Interleave deterministically: round-robin drain of the three lists.
+    queues = [stream, sweep, hot]
+    out = []
+    while any(queues):
+        for queue in queues:
+            if queue:
+                out.append(queue.pop(0))
+    return out
+
+
+def main() -> None:
+    lines = ["# example_mix: sequential stream + strided sweep + hot RMW set"]
+    lines += [f"{op} 0x{addr:x}" for op, addr in records()]
+    OUT.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {len(lines) - 1} records to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,9 @@ Examples::
     python -m repro timeline lbm06 static_ptmc # phase-resolved sparklines
     python -m repro cache stats                # on-disk result cache
 
+    python -m repro trace ingest app.trace     # content-address a real trace
+    python -m repro trace run <hash> -j 4      # replay it across designs
+
     python -m repro serve                      # job-queue daemon
     python -m repro submit lbm06 dynamic_ptmc  # enqueue over HTTP
     python -m repro wait <job-id>              # block until done
@@ -149,8 +152,26 @@ def cmd_stats(args) -> int:
     config = _config(args)
     result = simulate(args.workload, args.design, config, obs=_obs(args))
     runner_metrics = _runner_metrics()
+    merged = {**result.metrics, **runner_metrics}
+    if args.metrics:
+        wanted = [m.strip() for m in args.metrics.split(",") if m.strip()]
+        missing = sorted(set(wanted) - set(merged))
+        if missing:
+            print(
+                f"metrics not present in this result: {', '.join(missing)}\n"
+                "(cached results from older runs may lack newer paths — "
+                "re-run with --no-disk-cache or 'repro cache clear'; "
+                f"'repro stats {args.workload} {args.design} --json' lists "
+                "every available path)"
+            )
+            return 2
+        merged = {m: merged[m] for m in wanted}
     if args.json:
-        print(json.dumps({**result.metrics, **runner_metrics}, indent=2, sort_keys=True))
+        print(json.dumps(merged, indent=2, sort_keys=True))
+        return 0
+    if args.metrics:
+        print(banner(f"Telemetry: {args.workload} on {args.design}"))
+        print(format_metrics(merged))
         return 0
     print(banner(f"Telemetry: {args.workload} on {args.design}"))
     print(format_metrics(result.metrics))
@@ -257,16 +278,32 @@ def cmd_timeline(args) -> int:
     if args.json:
         print(json.dumps(timeseries.to_json_dict(), indent=2, sort_keys=True))
         return 0
+    available = sorted(timeseries.paths())
     if args.metrics:
         paths = [m.strip() for m in args.metrics.split(",") if m.strip()]
+        missing = sorted(set(paths) - set(available))
+        if missing:
+            print(
+                f"series not present in this result: {', '.join(missing)}\n"
+                "(cached results from older runs may lack newer series — "
+                "re-run with --no-disk-cache or 'repro cache clear'; "
+                f"available: {', '.join(available)})"
+            )
+            return 2
     else:
-        available = set(timeseries.paths())
-        paths = [p for p in DEFAULT_TIMELINE_METRICS if p in available]
+        paths = [p for p in DEFAULT_TIMELINE_METRICS if p in set(available)]
+    if not paths:
+        print(
+            "none of the default timeline metrics are present in this "
+            "result's time series; pass --metrics with one of: "
+            + ", ".join(available)
+        )
+        return 2
     print(banner(f"Timeline: {args.workload} on {args.design}"))
     try:
         print(format_timeline(timeseries, paths, show_warmup=not args.no_warmup))
-    except KeyError as exc:
-        print(f"unknown metric path: {exc}; see 'repro stats {args.workload} "
+    except (KeyError, ValueError) as exc:
+        print(f"cannot render timeline: {exc}; see 'repro stats {args.workload} "
               f"{args.design} --json' for the full path list")
         return 2
     return 0
@@ -289,9 +326,193 @@ def cmd_cache(args) -> int:
         )
         return 0
     stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True, default=str))
+        return 0
     print(banner("Simulation result cache"))
     print(format_table(["key", "value"], [[k, str(v)] for k, v in stats.items()]))
     return 0
+
+
+# -- trace verbs -----------------------------------------------------------
+
+
+def _trace_info_rows(info: dict) -> list:
+    """Sidecar dict -> [key, value] table rows (reuse histogram last)."""
+    rows = [
+        ["hash", info["hash"]],
+        ["name", info["name"] or "-"],
+        ["records", str(info["records"])],
+        ["reads / writes", f"{info['reads']} / {info['writes']}"],
+        ["write fraction", f"{info['write_frac']:.3f}"],
+        ["unique lines", str(info["unique_lines"])],
+        ["footprint", f"{info['footprint_bytes'] / 1024:.1f} KiB"],
+        ["parse errors", str(info["parse_errors"])],
+    ]
+    reuse = info.get("reuse_distance") or {}
+    if reuse:
+        ordered = sorted(
+            reuse.items(), key=lambda kv: (kv[0] == "cold", int(kv[0]) if kv[0] != "cold" else 0)
+        )
+        rows.append(
+            ["reuse distance", "  ".join(f"{k}:{v}" for k, v in ordered)]
+        )
+    return rows
+
+
+def cmd_trace_ingest(args) -> int:
+    from repro.traces.formats import TraceParseError
+    from repro.traces.store import TraceStoreError, trace_store
+
+    mode = "lenient" if args.lenient else "strict"
+    if args.url:
+        from pathlib import Path
+
+        client = _client(args)
+        data = Path(args.path).read_bytes()
+        trace = client.upload_trace(
+            data, name=args.name or Path(args.path).name, fmt=args.format, mode=mode
+        )
+        created, digest, records = trace["created"], trace["hash"], trace["records"]
+        errors = trace["parse_errors"]
+    else:
+        store = trace_store()
+        try:
+            info, created = store.ingest_path(
+                args.path, name=args.name or "", fmt=args.format, mode=mode
+            )
+        except FileNotFoundError:
+            print(f"no such trace file: {args.path}")
+            return 2
+        except (TraceParseError, TraceStoreError) as exc:
+            print(f"ingest failed: {exc}")
+            return 2
+        digest, records, errors = info.hash, info.records, info.parse_errors
+    verb = "ingested" if created else "already stored (deduplicated)"
+    print(f"{verb}: trace:{digest[:12]} ({records} records"
+          + (f", {errors} lines skipped" if errors else "") + ")")
+    print(f"full hash: {digest}")
+    print(f"run it with: repro trace run {digest[:12]}")
+    return 0
+
+
+def cmd_trace_list(args) -> int:
+    if args.url:
+        infos = _client(args).traces()
+    else:
+        from repro.traces.store import trace_store
+
+        infos = [info.to_json_dict() for info in trace_store().list()]
+    if args.json:
+        print(json.dumps(infos, indent=2, sort_keys=True))
+        return 0
+    if not infos:
+        print("no traces stored; add one with 'repro trace ingest <file>'")
+        return 0
+    rows = [
+        [
+            info["hash"][:12],
+            info["name"] or "-",
+            str(info["records"]),
+            f"{info['write_frac']:.2f}",
+            str(info["unique_lines"]),
+            f"{info['footprint_bytes'] / 1024:.0f} KiB",
+        ]
+        for info in infos
+    ]
+    print(format_table(
+        ["hash", "name", "records", "write frac", "unique lines", "footprint"], rows
+    ))
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    if args.url:
+        from repro.service.client import ServiceError
+
+        try:
+            info = _client(args).trace_info(args.trace_hash)
+        except ServiceError as exc:
+            print(f"trace error: {exc}")
+            return 2
+    else:
+        from repro.traces.store import TraceStoreError, trace_store
+
+        try:
+            info = trace_store().info(args.trace_hash).to_json_dict()
+        except TraceStoreError as exc:
+            print(f"trace error: {exc}")
+            return 2
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(banner(f"Trace {info['hash'][:12]}"))
+    print(format_table(["key", "value"], _trace_info_rows(info)))
+    return 0
+
+
+def cmd_trace_run(args) -> int:
+    from repro.sim.parallel import sweep_with_report
+    from repro.sim.results import geometric_mean
+    from repro.traces.replay import trace_workload
+    from repro.traces.store import TraceStoreError
+
+    try:
+        workload = trace_workload(
+            args.trace_hash,
+            limit=args.trace_limit,
+            loop=not args.no_loop,
+            seed=args.trace_seed,
+            mean_gap=args.gap,
+        )
+    except TraceStoreError as exc:
+        print(f"trace error: {exc}")
+        return 2
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    unknown = sorted(set(designs) - set(DESIGNS))
+    if unknown:
+        print(f"unknown designs: {', '.join(unknown)}; choose from {DESIGNS}")
+        return 2
+    config = _config(args)
+    matrix, report = sweep_with_report([workload], designs, config, jobs=args.jobs)
+    row = matrix[workload.name]
+    print(banner(f"{workload.name} (speedup vs uncompressed)"))
+    print(format_table(
+        ["design", "speedup"], [[d, f"{row[d]:.3f}"] for d in designs]
+    ))
+    if len(designs) > 1:
+        print(f"\ngeomean: {geometric_mean(row[d] for d in designs):.3f}")
+    counts = report.counts()
+    trace_metrics = next(
+        (
+            result.metrics
+            for result in report.results
+            if "trace.replayed_records" in result.metrics
+        ),
+        {},
+    )
+    if trace_metrics:
+        print(
+            f"replayed {int(trace_metrics['trace.replayed_records'])} records "
+            f"({int(trace_metrics['trace.synthesized_fills'])} synthesized fills, "
+            f"{int(trace_metrics['trace.loops'])} loops) in the measured window"
+        )
+    print(
+        f"{counts['jobs']} runs: {counts['executed']} executed, "
+        f"{counts['disk_hits']} from disk, {counts['memory_hits']} from memory "
+        f"({report.wall_seconds:.2f}s wall)"
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    handlers = {
+        "ingest": cmd_trace_ingest,
+        "list": cmd_trace_list,
+        "info": cmd_trace_info,
+        "run": cmd_trace_run,
+    }
+    return handlers[args.trace_command](args)
 
 
 # -- service verbs ---------------------------------------------------------
@@ -330,6 +551,7 @@ def cmd_serve(args) -> int:
     daemon = ServiceDaemon(
         db_path=args.db,
         cache_dir=args.cache_dir,
+        trace_dir=args.trace_dir,
         host=args.host,
         port=args.port,
         workers=args.workers,
@@ -363,6 +585,9 @@ def cmd_submit(args) -> int:
         ops=args.ops,
         warmup=args.warmup,
         llc_policy=args.llc_policy,
+        trace_limit=args.trace_limit,
+        trace_loop=False if args.no_loop else None,
+        trace_seed=args.trace_seed,
         priority=args.priority,
         max_attempts=args.max_attempts,
         timeout=args.job_timeout,
@@ -455,6 +680,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not read or write the persistent result cache",
     )
     parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="trace store location (default: $REPRO_TRACE_DIR or "
+        "~/.cache/repro-ptmc/traces)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -486,6 +717,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("design", choices=DESIGNS)
     stats.add_argument(
         "--json", action="store_true", help="emit the metrics mapping as JSON"
+    )
+    stats.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated registry paths to show (default: everything)",
     )
 
     cmp_ = sub.add_parser("compare", help="all designs on one workload")
@@ -551,6 +787,96 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DAYS",
         default=None,
         help="prune: delete entries last written more than DAYS days ago",
+    )
+    cache.add_argument(
+        "--json", action="store_true", help="stats: emit the summary as JSON"
+    )
+
+    trace = sub.add_parser(
+        "trace", help="ingest, inspect, and replay memory-access traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_ingest = trace_sub.add_parser(
+        "ingest", help="parse and store a trace file (content-addressed)"
+    )
+    trace_ingest.add_argument("path", help="trace file (text, binary, or gzip)")
+    trace_ingest.add_argument(
+        "--name", default=None, help="display name (default: the file name locally)"
+    )
+    trace_ingest.add_argument(
+        "--format",
+        choices=["auto", "text", "binary"],
+        default="auto",
+        help="input format (default: sniffed)",
+    )
+    trace_ingest.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip malformed lines (counted) instead of failing on the first",
+    )
+    trace_ingest.add_argument(
+        "--url",
+        default=None,
+        help="upload to a running daemon (POST /traces) instead of the "
+        "local store",
+    )
+
+    trace_list = trace_sub.add_parser("list", help="list stored traces")
+    trace_list.add_argument("--json", action="store_true")
+    trace_list.add_argument(
+        "--url", default=None, help="list a running daemon's traces instead"
+    )
+
+    trace_info = trace_sub.add_parser(
+        "info", help="one trace's characterization (hash prefix ok)"
+    )
+    trace_info.add_argument("trace_hash", help="content hash or unique prefix")
+    trace_info.add_argument("--json", action="store_true")
+    trace_info.add_argument(
+        "--url", default=None, help="ask a running daemon instead"
+    )
+
+    trace_run = trace_sub.add_parser(
+        "run", help="replay a stored trace across designs (speedup table)"
+    )
+    trace_run.add_argument("trace_hash", help="content hash or unique prefix")
+    trace_run.add_argument(
+        "--designs",
+        default="static_ptmc,dynamic_ptmc,ideal",
+        help="comma-separated design list (default: %(default)s)",
+    )
+    trace_run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (default: serial in-process)",
+    )
+    trace_run.add_argument(
+        "--trace-limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay only the first N records (0 = all)",
+    )
+    trace_run.add_argument(
+        "--no-loop",
+        action="store_true",
+        help="stop when the trace ends instead of looping to fill the run",
+    )
+    trace_run.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed for synthesized write data and inter-access gaps",
+    )
+    trace_run.add_argument(
+        "--gap",
+        type=int,
+        default=6,
+        metavar="CYCLES",
+        help="mean synthesized inter-access gap (default: %(default)s)",
     )
 
     from repro.service.client import default_url
@@ -619,6 +945,24 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--max-attempts", type=int, default=None)
     submit.add_argument(
+        "--trace-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace:<hash> workloads: replay only the first N records",
+    )
+    submit.add_argument(
+        "--no-loop",
+        action="store_true",
+        help="trace:<hash> workloads: stop at trace end instead of looping",
+    )
+    submit.add_argument(
+        "--trace-seed",
+        type=int,
+        default=None,
+        help="trace:<hash> workloads: data/gap synthesis seed",
+    )
+    submit.add_argument(
         "--job-timeout", type=float, default=None, help="per-job deadline (seconds)"
     )
     submit.add_argument(
@@ -654,8 +998,13 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if not args.no_disk_cache:
         runner.configure_disk_cache(args.cache_dir)
-    if getattr(args, "workload", None) is not None:
-        get_workload(args.workload)  # fail fast with the roster listing
+    if args.trace_dir is not None:
+        from repro.traces.store import configure_trace_store
+
+        configure_trace_store(args.trace_dir)
+    workload_arg = getattr(args, "workload", None)
+    if workload_arg is not None and not workload_arg.startswith("trace:"):
+        get_workload(workload_arg)  # fail fast with the roster listing
     tracer = None
     if args.trace_out:
         from repro.obs.tracing import Tracer, set_tracer
@@ -671,6 +1020,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "timeline": cmd_timeline,
         "cache": cmd_cache,
+        "trace": cmd_trace,
         "serve": cmd_serve,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
@@ -679,7 +1029,7 @@ def main(argv=None) -> int:
         "cancel": cmd_cancel,
     }
     try:
-        if args.command in ("submit", "jobs", "wait", "result", "cancel"):
+        if args.command in ("submit", "jobs", "wait", "result", "cancel", "trace"):
             from repro.service.client import ServiceError
 
             try:

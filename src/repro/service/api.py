@@ -9,8 +9,14 @@ Routes (all JSON in, JSON out)::
     GET    /jobs/<id>        one job
     GET    /jobs/<id>/result the finished job's SimResult JSON
     DELETE /jobs/<id>        cancel a queued job
+    POST   /traces           upload {content | content_b64, name?, format?,
+                             mode?} -> characterization sidecar (201 new,
+                             200 when deduplicated by content hash)
+    GET    /traces           list stored traces (characterizations)
+    GET    /traces/<hash>    one trace's characterization (prefix ok)
     GET    /healthz          liveness + queue counts + uptime
-    GET    /metrics          telemetry registry dump (service.*, runner.*)
+    GET    /metrics          telemetry registry dump (service.*, runner.*,
+                             trace.*)
     GET    /metrics?format=prometheus
                              the same registry as Prometheus text
                              exposition (scrapeable by stock tooling)
@@ -33,13 +39,17 @@ from urllib.parse import parse_qs, urlsplit
 from repro.obs import prometheus
 from repro.obs.tracing import span
 from repro.service import jobstore
-from repro.service.daemon import SubmitError
+from repro.service.daemon import IngestError, SubmitError
+from repro.traces.store import TraceStoreError
 
 if TYPE_CHECKING:
     from repro.service.daemon import ServiceDaemon
 
 #: Maximum accepted request body, bytes (a job submission is tiny).
 MAX_BODY_BYTES = 1 << 20
+
+#: Trace uploads carry whole trace files (base64 in JSON) — allow more.
+MAX_TRACE_BODY_BYTES = 64 << 20
 
 
 class ApiError(Exception):
@@ -88,9 +98,9 @@ class _Handler(BaseHTTPRequestHandler):
         """
         self._reply(code, {"error": message or self.responses.get(code, ("", ""))[0]})
 
-    def _body(self) -> Any:
+    def _body(self, max_bytes: int = MAX_BODY_BYTES) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
-        if length > MAX_BODY_BYTES:
+        if length > max_bytes:
             raise ApiError(413, "request body too large")
         raw = self.rfile.read(length) if length else b""
         if not raw:
@@ -196,6 +206,33 @@ class _Handler(BaseHTTPRequestHandler):
             return
         raise ApiError(409, f"job {job.id} is {job.state}; only queued jobs cancel")
 
+    def _POST_traces(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id is not None or sub is not None:
+            raise ApiError(404, "POST only to /traces")
+        try:
+            info, created = self.daemon_ref.ingest_trace(
+                self._body(max_bytes=MAX_TRACE_BODY_BYTES)
+            )
+        except IngestError as exc:
+            raise ApiError(400, str(exc)) from None
+        self._reply(
+            201 if created else 200,
+            {"trace": info.to_json_dict(), "created": created},
+        )
+
+    def _GET_traces(self, job_id, sub, query) -> None:  # noqa: N802
+        if sub is not None:
+            raise ApiError(404, f"no subresource {sub!r}")
+        if job_id is None:
+            infos = self.daemon_ref.traces.list()
+            self._reply(200, {"traces": [info.to_json_dict() for info in infos]})
+            return
+        try:
+            info = self.daemon_ref.traces.info(job_id)
+        except TraceStoreError as exc:
+            raise ApiError(404, str(exc)) from None
+        self._reply(200, {"trace": info.to_json_dict()})
+
     def _GET_healthz(self, job_id, sub, query) -> None:  # noqa: N802
         if job_id is not None or sub is not None:
             raise ApiError(404, f"no route for {self.path!r}; try GET /healthz")
@@ -227,4 +264,4 @@ def make_server(
     return server
 
 
-__all__ = ["ApiError", "MAX_BODY_BYTES", "make_server"]
+__all__ = ["ApiError", "MAX_BODY_BYTES", "MAX_TRACE_BODY_BYTES", "make_server"]

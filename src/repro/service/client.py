@@ -87,11 +87,18 @@ class ServiceClient:
         ops: Optional[int] = None,
         warmup: Optional[int] = None,
         llc_policy: Optional[str] = None,
+        trace_limit: Optional[int] = None,
+        trace_loop: Optional[bool] = None,
+        trace_seed: Optional[int] = None,
         priority: int = 0,
         max_attempts: Optional[int] = None,
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """Submit one job; returns the job dict (``job["created"]`` set)."""
+        """Submit one job; returns the job dict (``job["created"]`` set).
+
+        ``workload`` may be a roster name or ``trace:<hash>``; the
+        ``trace_*`` knobs apply only to the latter.
+        """
         config: Dict[str, Any] = {}
         if ops is not None:
             config["ops_per_core"] = ops
@@ -99,6 +106,12 @@ class ServiceClient:
             config["warmup_ops"] = warmup
         if llc_policy is not None:
             config["llc_policy"] = llc_policy
+        if trace_limit is not None:
+            config["trace_limit"] = trace_limit
+        if trace_loop is not None:
+            config["trace_loop"] = trace_loop
+        if trace_seed is not None:
+            config["trace_seed"] = trace_seed
         payload: Dict[str, Any] = {
             "workload": workload,
             "design": design,
@@ -145,6 +158,37 @@ class ServiceClient:
             if deadline is not None and time.monotonic() > deadline:
                 raise ServiceError(408, f"timed out waiting for job {job_id}")
             time.sleep(poll)
+
+    def upload_trace(
+        self,
+        data: bytes,
+        name: str = "",
+        fmt: str = "auto",
+        mode: str = "strict",
+    ) -> Dict[str, Any]:
+        """Upload raw trace bytes (text/binary/gzip); returns the sidecar.
+
+        The answer dict is the trace characterization with ``created``
+        merged in (``False`` when deduplicated by content hash).
+        """
+        import base64
+
+        payload = {
+            "content_b64": base64.b64encode(data).decode("ascii"),
+            "name": name,
+            "format": fmt,
+            "mode": mode,
+        }
+        answer = self._request("POST", "/traces", payload)
+        trace = answer["trace"]
+        trace["created"] = answer["created"]
+        return trace
+
+    def traces(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/traces")["traces"]
+
+    def trace_info(self, hash_or_prefix: str) -> Dict[str, Any]:
+        return self._request("GET", f"/traces/{hash_or_prefix}")["trace"]
 
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")

@@ -29,21 +29,34 @@ from repro.cache.replacement import POLICIES
 from repro.obs.logging import StructuredLog
 from repro.service import jobstore
 from repro.service.jobstore import Job, JobStore
-from repro.service.scheduler import Scheduler, ServiceStats
+from repro.service.scheduler import (
+    TRACE_CONFIG_KEYS,
+    Scheduler,
+    ServiceStats,
+    config_from_overrides,
+    resolve_job_workload,
+)
 from repro.sim import runner
-from repro.sim.config import bench_config
 from repro.sim.diskcache import DiskCache, cache_key
 from repro.sim.results import SimResult
 from repro.sim.system import DESIGNS
 from repro.telemetry import StatRegistry
-from repro.workloads.suites import get_workload
+from repro.traces.formats import TraceParseError
+from repro.traces.store import TraceStore, TraceStoreError, trace_store
 
-#: SimConfig override keys a job submission may carry.
-ALLOWED_CONFIG_KEYS = frozenset({"ops_per_core", "warmup_ops", "llc_policy"})
+#: SimConfig override keys a job submission may carry.  ``trace_*`` keys
+#: are workload parameters (valid only on ``trace:<hash>`` jobs).
+ALLOWED_CONFIG_KEYS = (
+    frozenset({"ops_per_core", "warmup_ops", "llc_policy"}) | TRACE_CONFIG_KEYS
+)
 
 
 class SubmitError(ValueError):
     """A job submission that can never run (bad workload/design/config)."""
+
+
+class IngestError(ValueError):
+    """A trace upload that cannot be stored (bad payload/format)."""
 
 
 class ServiceDaemon:
@@ -53,6 +66,7 @@ class ServiceDaemon:
         self,
         db_path=None,
         cache_dir=None,
+        trace_dir=None,
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 2,
@@ -67,6 +81,15 @@ class ServiceDaemon:
             self.cache = DiskCache(cache_dir)
         else:
             self.cache = runner.disk_cache() or DiskCache()
+        # the trace store is process-global (replay resolves through the
+        # singleton), so an explicit trace_dir reconfigures it for the
+        # whole daemon process
+        if trace_dir is not None:
+            from repro.traces.store import configure_trace_store
+
+            self.traces: TraceStore = configure_trace_store(trace_dir)
+        else:
+            self.traces = trace_store()
         self.stats = ServiceStats()
         self.max_attempts = max_attempts
         self.started_at = time.time()
@@ -77,6 +100,7 @@ class ServiceDaemon:
         self.scheduler = Scheduler(
             self.store,
             cache_dir=str(self.cache.root),
+            trace_dir=str(self.traces.root),
             workers=workers,
             default_timeout=default_timeout,
             drain_seconds=drain_seconds,
@@ -93,6 +117,7 @@ class ServiceDaemon:
             doc="seconds since this daemon process started",
         )
         runner.register_stats(self.registry.scope("runner"))
+        self.traces.stats.register_stats(self.registry.scope("trace"))
         # The HTTP server imports are local so the daemon object stays
         # usable in contexts that never open a socket (unit tests).
         from repro.service.api import make_server
@@ -128,10 +153,6 @@ class ServiceDaemon:
             raise SubmitError("'workload' and 'design' are required strings")
         if design not in DESIGNS:
             raise SubmitError(f"unknown design {design!r}; choose from {DESIGNS}")
-        try:
-            workload = get_workload(workload_name)
-        except KeyError as exc:
-            raise SubmitError(str(exc)) from None
         config_overrides = dict(payload.get("config") or {})
         unknown = set(config_overrides) - ALLOWED_CONFIG_KEYS
         if unknown:
@@ -139,13 +160,30 @@ class ServiceDaemon:
                 f"unsupported config overrides {sorted(unknown)}; "
                 f"allowed: {sorted(ALLOWED_CONFIG_KEYS)}"
             )
+        trace_keys = set(config_overrides) & TRACE_CONFIG_KEYS
+        if trace_keys and not workload_name.startswith("trace:"):
+            raise SubmitError(
+                f"{sorted(trace_keys)} only apply to trace:<hash> workloads"
+            )
+        if int(config_overrides.get("trace_limit", 0) or 0) < 0:
+            raise SubmitError("trace_limit must be >= 0")
         llc_policy = config_overrides.get("llc_policy")
         if llc_policy is not None and llc_policy not in POLICIES:
             raise SubmitError(
                 f"unknown llc_policy {llc_policy!r}; choose from {sorted(POLICIES)}"
             )
         try:
-            config = bench_config(**config_overrides)
+            workload = resolve_job_workload(workload_name, config_overrides)
+        except (KeyError, TraceStoreError) as exc:
+            raise SubmitError(str(exc)) from None
+        except (TypeError, ValueError) as exc:
+            raise SubmitError(f"bad trace overrides: {exc}") from None
+        if workload_name.startswith("trace:"):
+            # canonicalize abbreviated hashes so the stored row stays
+            # resolvable even if a later ingest makes the prefix ambiguous
+            workload_name = f"trace:{workload.trace_hash}"
+        try:
+            config = config_from_overrides(config_overrides)
         except (TypeError, ValueError) as exc:
             raise SubmitError(f"bad config overrides: {exc}") from None
         priority = int(payload.get("priority", 0))
@@ -196,6 +234,54 @@ class ServiceDaemon:
             self.stats.dedup_active += 1
         return job, created
 
+    # -- trace ingestion --------------------------------------------------
+
+    def ingest_trace(self, payload: Dict[str, Any]):
+        """Store one uploaded trace; returns ``(info, created)``.
+
+        The payload carries the trace either as ``content`` (text
+        records, convenient for hand-written uploads) or ``content_b64``
+        (base64 of text/binary/gzip bytes), plus optional ``name``,
+        ``format`` (``auto``/``text``/``binary``) and ``mode``
+        (``strict``/``lenient``).  Raises :class:`IngestError` on a
+        payload that cannot be parsed or stored.
+        """
+        if not isinstance(payload, dict):
+            raise IngestError("trace payload must be a JSON object")
+        content = payload.get("content")
+        content_b64 = payload.get("content_b64")
+        if (content is None) == (content_b64 is None):
+            raise IngestError("provide exactly one of 'content' or 'content_b64'")
+        if content is not None:
+            if not isinstance(content, str):
+                raise IngestError("'content' must be a string of text records")
+            data = content.encode("utf-8")
+        else:
+            import base64
+            import binascii
+
+            try:
+                data = base64.b64decode(content_b64, validate=True)
+            except (binascii.Error, TypeError, ValueError) as exc:
+                raise IngestError(f"bad content_b64: {exc}") from None
+        name = payload.get("name") or ""
+        fmt = payload.get("format", "auto")
+        mode = payload.get("mode", "strict")
+        try:
+            info, created = self.traces.ingest_bytes(
+                data, name=str(name), fmt=fmt, mode=mode
+            )
+        except (TraceParseError, TraceStoreError, ValueError) as exc:
+            raise IngestError(str(exc)) from None
+        self.log.event(
+            "trace_ingested",
+            hash=info.hash,
+            name=info.name,
+            records=info.records,
+            created=created,
+        )
+        return info, created
+
     def result_for(self, job: Job) -> Optional[SimResult]:
         """The completed job's :class:`SimResult` from the shared cache."""
         return self.cache.get(job.key)
@@ -211,6 +297,7 @@ class ServiceDaemon:
             "workers": self.scheduler.workers,
             "draining": self.scheduler.stopping,
             "cache_dir": str(self.cache.root),
+            "trace_dir": str(self.traces.root),
             "db": str(self.store.path),
         }
 
@@ -265,4 +352,4 @@ class ServiceDaemon:
             self._http_thread = None
 
 
-__all__ = ["ALLOWED_CONFIG_KEYS", "ServiceDaemon", "SubmitError"]
+__all__ = ["ALLOWED_CONFIG_KEYS", "IngestError", "ServiceDaemon", "SubmitError"]

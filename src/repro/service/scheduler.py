@@ -37,13 +37,17 @@ from repro.obs.logging import StructuredLog
 from repro.obs.tracing import async_begin, async_end
 from repro.service import jobstore
 from repro.service.jobstore import Job, JobStore
-from repro.sim import parallel
+from repro.sim import parallel, runner
 from repro.sim.config import SimConfig, bench_config
 from repro.telemetry import StatScope
-from repro.workloads.suites import get_workload
+from repro.traces.store import TraceStoreError
 
 #: Queue-depth histogram bounds (jobs waiting at submission time).
 QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+#: Config-override keys that parameterize the *workload* (trace replay)
+#: rather than the SimConfig; only valid on ``trace:<hash>`` jobs.
+TRACE_CONFIG_KEYS = frozenset({"trace_limit", "trace_loop", "trace_seed"})
 
 
 @dataclasses.dataclass
@@ -93,9 +97,48 @@ class ServiceStats:
         )
 
 
+def config_from_overrides(config: Dict) -> SimConfig:
+    """The :class:`SimConfig` a job's override dict resolves to.
+
+    ``trace_*`` overrides parameterize the workload, not the simulator
+    config, so they are filtered out here and applied by
+    :func:`resolve_job_workload`.
+    """
+    overrides = {k: v for k, v in config.items() if k not in TRACE_CONFIG_KEYS}
+    return bench_config(**overrides)
+
+
 def job_config(job: Job) -> SimConfig:
     """The resolved :class:`SimConfig` for one job's stored overrides."""
-    return bench_config(**job.config)
+    return config_from_overrides(job.config)
+
+
+def resolve_job_workload(workload_name: str, config: Dict):
+    """The workload object a job's stored (name, config) identifies.
+
+    Roster names resolve through the suite registry; ``trace:<hash>``
+    references resolve through the process-default trace store, with
+    any ``trace_*`` config overrides folded into the frozen
+    :class:`~repro.traces.replay.TraceWorkload` (so they participate in
+    the cache key like every other workload field).
+    """
+    workload = runner.resolve_workload(workload_name)
+    if workload_name.startswith("trace:"):
+        replacements = {}
+        if "trace_limit" in config:
+            replacements["limit"] = int(config["trace_limit"])
+        if "trace_loop" in config:
+            replacements["loop"] = bool(config["trace_loop"])
+        if "trace_seed" in config:
+            replacements["seed"] = int(config["trace_seed"])
+        if replacements:
+            workload = dataclasses.replace(workload, **replacements)
+    return workload
+
+
+def job_workload(job: Job):
+    """The workload object for one stored job row."""
+    return resolve_job_workload(job.workload, job.config)
 
 
 class Scheduler:
@@ -105,6 +148,7 @@ class Scheduler:
         self,
         store: JobStore,
         cache_dir: Optional[str],
+        trace_dir: Optional[str] = None,
         workers: int = 2,
         default_timeout: Optional[float] = None,
         poll_interval: float = 0.05,
@@ -117,6 +161,7 @@ class Scheduler:
     ) -> None:
         self.store = store
         self.cache_dir = cache_dir
+        self.trace_dir = trace_dir
         self.workers = max(1, workers)
         self.default_timeout = default_timeout
         self.poll_interval = poll_interval
@@ -171,7 +216,7 @@ class Scheduler:
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=parallel.init_worker,
-            initargs=(self.cache_dir,),
+            initargs=(self.cache_dir, self.trace_dir),
         )
 
     def _shutdown_pool(self) -> None:
@@ -198,9 +243,9 @@ class Scheduler:
                 break
             dispatched = True
             try:
-                workload = get_workload(job.workload)
+                workload = job_workload(job)
                 config = job_config(job)
-            except (KeyError, TypeError, ValueError) as exc:
+            except (KeyError, TypeError, ValueError, TraceStoreError) as exc:
                 # Unresolvable identity can never succeed: fail terminally.
                 self.store.fail(job.id, f"invalid job: {exc}")
                 self.stats.failed += 1
@@ -322,4 +367,12 @@ class Scheduler:
         self.log.event("scheduler_drained", requeued=self.stats.drain_requeued)
 
 
-__all__ = ["Scheduler", "ServiceStats", "job_config"]
+__all__ = [
+    "Scheduler",
+    "ServiceStats",
+    "TRACE_CONFIG_KEYS",
+    "config_from_overrides",
+    "job_config",
+    "job_workload",
+    "resolve_job_workload",
+]

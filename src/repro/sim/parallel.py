@@ -74,14 +74,20 @@ class BatchReport:
         ]
 
 
-def init_worker(cache_dir: Optional[str]) -> None:
+def init_worker(cache_dir: Optional[str], trace_dir: Optional[str] = None) -> None:
     """Pool initializer: point the worker at the shared disk cache.
 
     Public because the job-queue service (:mod:`repro.service`) builds
-    its own worker pool from the same primitives.
+    its own worker pool from the same primitives.  ``trace_dir``
+    additionally points the worker at the parent's trace store, so
+    trace-backed jobs replay the same content-addressed records.
     """
     if cache_dir is not None:
         runner.configure_disk_cache(cache_dir)
+    if trace_dir is not None:
+        from repro.traces.store import configure_trace_store
+
+        configure_trace_store(trace_dir)
 
 
 def run_job(job: Tuple[Workload, str, SimConfig]) -> Tuple[SimResult, str, float]:
@@ -117,6 +123,11 @@ def run_batch(
     ]
     if cache_dir is None and runner.disk_cache() is not None:
         cache_dir = str(runner.disk_cache().root)
+    trace_dir = None
+    if any(hasattr(workload, "trace_hash") for workload, _ in resolved):
+        from repro.traces.store import trace_store
+
+        trace_dir = str(trace_store().root)
     report = BatchReport(jobs_used=max(1, jobs or 1))
     start = time.perf_counter()
     # Tracing is parent-side only: worker processes cannot share the
@@ -134,7 +145,7 @@ def run_batch(
             with ProcessPoolExecutor(
                 max_workers=report.jobs_used,
                 initializer=init_worker,
-                initargs=(cache_dir,),
+                initargs=(cache_dir, trace_dir),
             ) as pool:
                 outcomes = list(
                     pool.map(run_job, [(w, d, config) for w, d in resolved])

@@ -88,8 +88,18 @@ def disk_cache() -> Optional[DiskCache]:
 
 
 def resolve_workload(workload) -> Workload:
-    """Accept either a roster name or a workload object."""
+    """Accept a roster name, a ``trace:<hash>`` reference, or an object.
+
+    ``trace:<hash-or-prefix>`` resolves through the process-default
+    :class:`~repro.traces.store.TraceStore` into a
+    :class:`~repro.traces.replay.TraceWorkload`, whose full trace hash
+    participates in the disk-cache key like any other workload field.
+    """
     if isinstance(workload, str):
+        if workload.startswith("trace:"):
+            from repro.traces.replay import trace_workload
+
+            return trace_workload(workload[len("trace:"):])
         return get_workload(workload)
     return workload
 

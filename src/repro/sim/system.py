@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.compression.batch import BatchCompressor
@@ -26,7 +26,7 @@ from repro.sim.results import SimResult
 from repro.telemetry import Metrics, StatRegistry
 from repro.types import Category
 from repro.vm.page_table import LINES_PER_PAGE, PageTable
-from repro.workloads.generators import MixWorkload, WorkloadSpec, WorkloadTraceGenerator
+from repro.workloads.generators import MixWorkload
 
 #: Design names accepted by :func:`build_controller` and the runner.
 DESIGNS = (
@@ -96,8 +96,10 @@ class SimulatedSystem:
         self.config = config
         self.obs = obs or ObsConfig()
         self.page_table = PageTable(config.capacity_lines, seed=config.seed + 99)
-        self.generators: List[WorkloadTraceGenerator] = [
-            WorkloadTraceGenerator(self._spec_for_core(core), core)
+        # each spec builds its own generator flavour: synthetic specs a
+        # WorkloadTraceGenerator, trace workloads a TraceReplayGenerator
+        self.generators = [
+            self._spec_for_core(core).make_generator(core)
             for core in range(config.num_cores)
         ]
         self.memory = PhysicalMemory(
@@ -202,9 +204,27 @@ class SimulatedSystem:
         cores = registry.scope("core")
         for core in self.cores:
             core.register_stats(cores.scope(str(core.core_id)))
+        replayers = [g for g in self.generators if hasattr(g, "replayed_records")]
+        if replayers:
+            trace_scope = registry.scope("trace")
+            trace_scope.counter(
+                "replayed_records",
+                lambda: sum(g.replayed_records for g in replayers),
+                doc="stored trace records replayed across all cores",
+            )
+            trace_scope.counter(
+                "synthesized_fills",
+                lambda: sum(g.synthesized_fills for g in replayers),
+                doc="write records whose line data was synthesized",
+            )
+            trace_scope.counter(
+                "loops",
+                lambda: sum(g.loops for g in replayers),
+                doc="times a core's trace wrapped around",
+            )
         return registry
 
-    def _spec_for_core(self, core_id: int) -> WorkloadSpec:
+    def _spec_for_core(self, core_id: int):
         if isinstance(self.workload, MixWorkload):
             return self.workload.spec_for_core(core_id)
         # rate mode: same benchmark on every core, distinct seeds

@@ -1,0 +1,36 @@
+"""Real-trace ingestion: parse, content-address, characterize, replay.
+
+See DESIGN.md §12.  The subsystem has three layers:
+
+- :mod:`repro.traces.formats` — streaming parsers for ChampSim/Pin-style
+  text, the canonical binary encoding, and gzip containers;
+- :mod:`repro.traces.store` — the content-addressed :class:`TraceStore`
+  (sha256 of canonical records) with characterization sidecars;
+- :mod:`repro.traces.replay` — :class:`TraceWorkload` /
+  :class:`TraceReplayGenerator`, replaying a stored trace through the
+  full (scalar + batched) workload interface with deterministic data
+  synthesis.
+"""
+
+from repro.traces.formats import ParseStats, TraceParseError
+from repro.traces.replay import TraceReplayGenerator, TraceWorkload, trace_workload
+from repro.traces.store import (
+    TraceInfo,
+    TraceStore,
+    TraceStoreError,
+    configure_trace_store,
+    trace_store,
+)
+
+__all__ = [
+    "ParseStats",
+    "TraceInfo",
+    "TraceParseError",
+    "TraceReplayGenerator",
+    "TraceStore",
+    "TraceStoreError",
+    "TraceWorkload",
+    "configure_trace_store",
+    "trace_store",
+    "trace_workload",
+]

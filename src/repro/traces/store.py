@@ -1,0 +1,363 @@
+"""Content-addressed store for ingested traces.
+
+Identity is the sha256 of the *canonical record bytes* (the
+:data:`~repro.traces.formats.MAGIC`-headed binary encoding) — never of
+the uploaded container, so the same trace uploaded as text, binary or
+gzip dedups to one entry.  Layout under the store root::
+
+    <root>/<hh>/<hash>.bin        canonical records, gzip (mtime=0, byte-stable)
+    <root>/<hh>/<hash>.json       versioned characterization sidecar
+
+where ``hh`` is the first two hex digits of the hash.  The sidecar
+carries record count, read/write split, footprint, and the
+reuse-distance histogram from :mod:`repro.workloads.characterize`, so
+listings and ``GET /traces/<hash>`` never re-parse record payloads.
+
+A module-level default store (``configure_trace_store`` /
+``trace_store``) mirrors the disk-cache singleton in
+:mod:`repro.sim.runner`; the root defaults to ``$REPRO_TRACE_DIR`` or
+``~/.cache/repro-ptmc/traces``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.traces.formats import (
+    LINE_BYTES,
+    Access,
+    ParseStats,
+    TraceParseError,
+    decode_records,
+    encode_records,
+    parse_bytes,
+)
+
+#: Sidecar schema version — bump when the JSON layout changes; entries
+#: with an unknown schema are re-characterised from the record bytes.
+SIDECAR_SCHEMA = 1
+
+_HASH_HEX = 64
+
+
+class TraceStoreError(Exception):
+    """Store-level failure (unknown hash, ambiguous prefix, corruption)."""
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """The characterization sidecar of one stored trace."""
+
+    hash: str
+    name: str
+    records: int
+    reads: int
+    writes: int
+    unique_lines: int
+    footprint_bytes: int
+    reuse_distance: Dict[str, int]
+    parse_errors: int = 0
+    created_at: float = 0.0
+    schema: int = SIDECAR_SCHEMA
+
+    @property
+    def write_frac(self) -> float:
+        return self.writes / self.records if self.records else 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "hash": self.hash,
+            "name": self.name,
+            "records": self.records,
+            "reads": self.reads,
+            "writes": self.writes,
+            "write_frac": self.write_frac,
+            "unique_lines": self.unique_lines,
+            "footprint_bytes": self.footprint_bytes,
+            "reuse_distance": dict(sorted(self.reuse_distance.items(),
+                                          key=_bucket_order)),
+            "parse_errors": self.parse_errors,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "TraceInfo":
+        return cls(
+            hash=payload["hash"],
+            name=payload.get("name", ""),
+            records=payload["records"],
+            reads=payload["reads"],
+            writes=payload["writes"],
+            unique_lines=payload["unique_lines"],
+            footprint_bytes=payload["footprint_bytes"],
+            reuse_distance=dict(payload.get("reuse_distance", {})),
+            parse_errors=payload.get("parse_errors", 0),
+            created_at=payload.get("created_at", 0.0),
+            schema=payload.get("schema", 0),
+        )
+
+
+def _bucket_order(item: Tuple[str, int]):
+    key = item[0]
+    return (1, 0) if key == "cold" else (0, int(key))
+
+
+@dataclass
+class TraceStoreStats:
+    """Ingest/serve counters (registered as ``trace.*`` by the daemon)."""
+
+    ingested: int = 0
+    dedup_hits: int = 0
+    parse_errors: int = 0
+    loads: int = 0
+
+    def register_stats(self, scope) -> None:
+        scope.counter("ingested", lambda: self.ingested,
+                      "traces ingested (new store entries)")
+        scope.counter("dedup_hits", lambda: self.dedup_hits,
+                      "ingests deduplicated against an existing entry")
+        scope.counter("parse_errors", lambda: self.parse_errors,
+                      "trace lines skipped or rejected while parsing")
+        scope.counter("loads", lambda: self.loads,
+                      "trace record payloads loaded from the store")
+
+
+def default_trace_dir() -> Path:
+    env = os.environ.get("REPRO_TRACE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-ptmc" / "traces"
+
+
+def content_hash(records: List[Access]) -> str:
+    """sha256 over the canonical record encoding (container-independent)."""
+    return hashlib.sha256(encode_records(records)).hexdigest()
+
+
+def characterize_records(
+    records: List[Access],
+    name: str,
+    content: str,
+    parse_errors: int = 0,
+    created_at: float = 0.0,
+) -> TraceInfo:
+    """Build the sidecar for a record list (reuse-distance included)."""
+    from repro.workloads.characterize import reuse_distance_histogram
+
+    writes = sum(1 for is_write, _ in records if is_write)
+    unique = len({line for _, line in records})
+    return TraceInfo(
+        hash=content,
+        name=name,
+        records=len(records),
+        reads=len(records) - writes,
+        writes=writes,
+        unique_lines=unique,
+        footprint_bytes=unique * LINE_BYTES,
+        reuse_distance=reuse_distance_histogram(line for _, line in records),
+        parse_errors=parse_errors,
+        created_at=created_at,
+    )
+
+
+class TraceStore:
+    """Content-addressed trace storage rooted at one directory."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_trace_dir()
+        self.stats = TraceStoreStats()
+
+    # -- paths ---------------------------------------------------------
+
+    def _paths(self, digest: str) -> Tuple[Path, Path]:
+        shard = self.root / digest[:2]
+        return shard / f"{digest}.bin", shard / f"{digest}.json"
+
+    # -- ingest --------------------------------------------------------
+
+    def ingest_records(
+        self,
+        records: List[Access],
+        name: str = "",
+        parse_errors: int = 0,
+    ) -> Tuple[TraceInfo, bool]:
+        """Store a parsed record list; returns ``(info, created)``.
+
+        Re-ingesting identical records dedups to the existing entry
+        (``created=False``) regardless of the name it arrives under.
+        """
+        if not records:
+            raise TraceStoreError("trace contains no records")
+        digest = content_hash(records)
+        bin_path, json_path = self._paths(digest)
+        if bin_path.exists() and json_path.exists():
+            self.stats.dedup_hits += 1
+            return self.info(digest), False
+        info = characterize_records(
+            records, name=name, content=digest,
+            parse_errors=parse_errors, created_at=time.time(),
+        )
+        bin_path.parent.mkdir(parents=True, exist_ok=True)
+        # gzip with mtime=0 so the stored container bytes are a pure
+        # function of the records (safe to compare/sync between hosts)
+        buffer = io.BytesIO()
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as zipped:
+            zipped.write(encode_records(records))
+        _atomic_write(bin_path, buffer.getvalue())
+        _atomic_write(json_path,
+                      json.dumps(info.to_json_dict(), indent=2).encode() + b"\n")
+        self.stats.ingested += 1
+        return info, True
+
+    def ingest_bytes(
+        self,
+        data: bytes,
+        name: str = "",
+        fmt: str = "auto",
+        mode: str = "strict",
+    ) -> Tuple[TraceInfo, bool]:
+        """Parse an uploaded payload (any supported format) and store it."""
+        stats = ParseStats()
+        try:
+            records = list(parse_bytes(data, fmt=fmt, mode=mode, stats=stats))
+        except TraceParseError:
+            self.stats.parse_errors += 1
+            raise
+        self.stats.parse_errors += stats.errors
+        return self.ingest_records(records, name=name, parse_errors=stats.errors)
+
+    def ingest_path(self, path, name: str = "",
+                    fmt: str = "auto", mode: str = "strict"):
+        source = Path(path)
+        with open(source, "rb") as handle:
+            data = handle.read()
+        return self.ingest_bytes(data, name=name or source.name, fmt=fmt, mode=mode)
+
+    # -- lookup --------------------------------------------------------
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a (possibly abbreviated) hash to the full digest."""
+        prefix = prefix.lower()
+        if not prefix or any(c not in "0123456789abcdef" for c in prefix):
+            raise TraceStoreError(f"invalid trace hash {prefix!r}")
+        if len(prefix) == _HASH_HEX:
+            if not self._paths(prefix)[0].exists():
+                raise TraceStoreError(f"unknown trace {prefix}")
+            return prefix
+        if len(prefix) < 2:
+            raise TraceStoreError("trace hash prefix must be at least 2 chars")
+        shard = self.root / prefix[:2]
+        matches = sorted(p.stem for p in shard.glob(f"{prefix}*.bin"))
+        if not matches:
+            raise TraceStoreError(f"unknown trace {prefix}")
+        if len(matches) > 1:
+            raise TraceStoreError(
+                f"ambiguous trace prefix {prefix} ({len(matches)} matches)")
+        return matches[0]
+
+    def info(self, hash_or_prefix: str) -> TraceInfo:
+        digest = self.resolve(hash_or_prefix)
+        _, json_path = self._paths(digest)
+        try:
+            payload = json.loads(json_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        if payload is None or payload.get("schema") != SIDECAR_SCHEMA:
+            # missing/stale sidecar: rebuild from the record bytes
+            records = self.load_records(digest)
+            info = characterize_records(records, name=digest[:12], content=digest,
+                                        created_at=time.time())
+            _atomic_write(json_path,
+                          json.dumps(info.to_json_dict(), indent=2).encode() + b"\n")
+            return info
+        return TraceInfo.from_json_dict(payload)
+
+    def load_records(self, hash_or_prefix: str) -> List[Access]:
+        """Load and integrity-check the canonical records of one trace."""
+        digest = self.resolve(hash_or_prefix)
+        bin_path, _ = self._paths(digest)
+        try:
+            raw = gzip.decompress(bin_path.read_bytes())
+        except (OSError, EOFError) as exc:
+            raise TraceStoreError(f"unreadable trace {digest[:12]}: {exc}") from None
+        if hashlib.sha256(raw).hexdigest() != digest:
+            raise TraceStoreError(f"trace {digest[:12]} failed its content hash")
+        self.stats.loads += 1
+        return list(decode_records(io.BytesIO(raw)))
+
+    def list(self) -> List[TraceInfo]:
+        """All stored traces, newest first."""
+        infos = []
+        for json_path in sorted(self.root.glob("??/*.json")):
+            try:
+                infos.append(self.info(json_path.stem))
+            except TraceStoreError:
+                continue
+        infos.sort(key=lambda info: (-info.created_at, info.hash))
+        return infos
+
+    def remove(self, hash_or_prefix: str) -> None:
+        digest = self.resolve(hash_or_prefix)
+        for path in self._paths(digest):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    fd, temp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+
+
+# -- module-level default store (mirrors runner.configure_disk_cache) --------
+
+_default_store: Optional[TraceStore] = None
+
+
+def configure_trace_store(root=None) -> TraceStore:
+    """(Re)configure the process-wide default store and return it."""
+    global _default_store
+    _default_store = TraceStore(Path(root) if root is not None else None)
+    return _default_store
+
+
+def trace_store() -> TraceStore:
+    """The process-wide default store (created on first use)."""
+    global _default_store
+    if _default_store is None:
+        _default_store = TraceStore()
+    return _default_store
+
+
+__all__ = [
+    "SIDECAR_SCHEMA",
+    "TraceInfo",
+    "TraceStore",
+    "TraceStoreError",
+    "TraceStoreStats",
+    "characterize_records",
+    "configure_trace_store",
+    "content_hash",
+    "default_trace_dir",
+    "trace_store",
+]

@@ -10,6 +10,7 @@ of adjacent pairs that co-compress.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Iterable
 
 from repro.compression.base import LINE_SIZE
 from repro.compression.hybrid import HybridCompressor
@@ -76,6 +77,71 @@ def footprint_mb(workload, num_cores: int = 8) -> float:
     else:
         lines = workload.footprint_lines * num_cores
     return lines * LINE_SIZE / 1e6
+
+
+def reuse_distance_histogram(
+    addresses: Iterable[int], max_records: int = 200_000
+) -> Dict[str, int]:
+    """Exact LRU stack-distance histogram of an address stream.
+
+    The reuse distance of an access is the number of *distinct* lines
+    touched since the previous access to the same line — the classic
+    locality fingerprint (an access hits in a fully-associative LRU
+    cache of C lines iff its reuse distance is < C).  Distances are
+    bucketed by power of two (``"1"``, ``"2"``, ``"4"``, ...); first
+    touches land in ``"cold"``.
+
+    Uses the Bennett–Kruskal Fenwick-tree formulation: O(n log n) time,
+    O(n) space.  ``max_records`` caps the work for very long traces
+    (the prefix is characterised; 0 means no cap).
+    """
+    stream = list(addresses if max_records <= 0 else _take(addresses, max_records))
+    n = len(stream)
+    # Fenwick tree over access positions; marked positions are the
+    # *latest* occurrence so far of each distinct line.
+    tree = [0] * (n + 1)
+
+    def _add(pos: int, delta: int) -> None:
+        pos += 1
+        while pos <= n:
+            tree[pos] += delta
+            pos += pos & -pos
+
+    def _prefix(pos: int) -> int:
+        # marked positions in [0, pos)
+        total = 0
+        while pos > 0:
+            total += tree[pos]
+            pos -= pos & -pos
+        return total
+
+    histogram: Dict[str, int] = {}
+    last_seen: Dict[int, int] = {}
+    marked = 0
+    for position, line in enumerate(stream):
+        previous = last_seen.get(line)
+        if previous is None:
+            bucket = "cold"
+        else:
+            # distinct lines since the previous access = marked
+            # latest-occurrence positions strictly after it, plus the
+            # line itself (so an immediate re-access has distance 1)
+            distance = marked - _prefix(previous + 1) + 1
+            bucket = str(1 << (distance - 1).bit_length())
+            _add(previous, -1)
+            marked -= 1
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+        _add(position, 1)
+        marked += 1
+        last_seen[line] = position
+    return histogram
+
+
+def _take(iterable: Iterable[int], count: int):
+    for index, item in enumerate(iterable):
+        if index >= count:
+            return
+        yield item
 
 
 def characterize(workload, config=None, baseline=None) -> WorkloadProfile:

@@ -62,8 +62,95 @@ class WorkloadSpec:
     def memory_intensive(self) -> bool:
         return self.suite != "low"
 
+    def make_generator(self, core_id: int) -> "WorkloadTraceGenerator":
+        """The per-core generator for this spec (polymorphic with
+        :class:`repro.traces.replay.TraceWorkload`)."""
+        return WorkloadTraceGenerator(self, core_id)
 
-class WorkloadTraceGenerator:
+
+class TraceExhausted(Exception):
+    """Raised by ``_record()`` when a finite record source runs out.
+
+    Synthetic generators never raise it; finite (non-looping) trace
+    replay does, and :class:`RecordStreamGenerator` turns it into a
+    clean end-of-stream for both the scalar and the batched path.
+    """
+
+
+class RecordStreamGenerator:
+    """Shared scalar/batched replay machinery over a ``_record()`` source.
+
+    Subclasses implement :meth:`_record` — the single source of record
+    order — and inherit ``generate``/``generate_batched`` whose record
+    streams are bitwise-identical to each other (DESIGN.md §9).  A
+    subclass with a finite source signals the end by raising
+    :class:`TraceExhausted` from ``_record()``.
+    """
+
+    def _record(self) -> TraceRecord:
+        """Draw the next trace record (the single source of RNG order)."""
+        raise NotImplementedError
+
+    def _on_replay(self, record: TraceRecord) -> None:
+        """Hook fired as each record is handed to the consumer.
+
+        Called at *yield* time — not decode time — in both the scalar
+        and the batched path, so counters driven from it see the exact
+        same per-consumed-record timing either way (the batched path
+        decodes up to a chunk ahead, which would otherwise leak into
+        phase-windowed telemetry deltas).
+        """
+
+    def generate(self, num_ops: int) -> Iterator[TraceRecord]:
+        """Yield up to ``num_ops`` trace records."""
+        for _ in range(num_ops):
+            try:
+                record = self._record()
+            except TraceExhausted:
+                return
+            self._on_replay(record)
+            yield record
+
+    def generate_batched(
+        self,
+        num_ops: int,
+        chunk_ops: int,
+        on_chunk: Optional[Callable[["TraceChunk"], None]] = None,
+    ) -> Iterator[TraceRecord]:
+        """Yield exactly the records :meth:`generate` would, in chunks.
+
+        Records are pre-decoded ``chunk_ops`` at a time and each block is
+        handed to ``on_chunk`` (as a :class:`TraceChunk`) before any of
+        its records is replayed — one opportunity for bulk work, such as
+        vectorized compressed-size precompute, ahead of the per-record
+        consumers.  Both paths call :meth:`_record` in the same order, so
+        the record stream is identical; only the generator-side state
+        (``reference``, versions) runs ahead of the replay by at most one
+        chunk, which nothing observes until the trace is drained.
+        """
+        if chunk_ops < 1:
+            raise ValueError("chunk_ops must be positive")
+        remaining = num_ops
+        while remaining > 0:
+            take = min(chunk_ops, remaining)
+            remaining -= take
+            records = []
+            try:
+                for _ in range(take):
+                    records.append(self._record())
+            except TraceExhausted:
+                remaining = 0
+            if not records:
+                return
+            chunk = TraceChunk(records)
+            if on_chunk is not None:
+                on_chunk(chunk)
+            for record in chunk.records:
+                self._on_replay(record)
+                yield record
+
+
+class WorkloadTraceGenerator(RecordStreamGenerator):
     """Deterministic trace generator for one core running one spec."""
 
     def __init__(self, spec: WorkloadSpec, core_id: int) -> None:
@@ -130,39 +217,6 @@ class WorkloadTraceGenerator:
             self.reference[vline] = data
             return TraceRecord(gap, True, vline, data)
         return TraceRecord(gap, False, vline, None)
-
-    def generate(self, num_ops: int) -> Iterator[TraceRecord]:
-        """Yield ``num_ops`` trace records."""
-        for _ in range(num_ops):
-            yield self._record()
-
-    def generate_batched(
-        self,
-        num_ops: int,
-        chunk_ops: int,
-        on_chunk: Optional[Callable[["TraceChunk"], None]] = None,
-    ) -> Iterator[TraceRecord]:
-        """Yield exactly the records :meth:`generate` would, in chunks.
-
-        Records are pre-decoded ``chunk_ops`` at a time and each block is
-        handed to ``on_chunk`` (as a :class:`TraceChunk`) before any of
-        its records is replayed — one opportunity for bulk work, such as
-        vectorized compressed-size precompute, ahead of the per-record
-        consumers.  Both paths call :meth:`_record` in the same order, so
-        the record stream is identical; only the generator-side state
-        (``reference``, versions) runs ahead of the replay by at most one
-        chunk, which nothing observes until the trace is drained.
-        """
-        if chunk_ops < 1:
-            raise ValueError("chunk_ops must be positive")
-        remaining = num_ops
-        while remaining > 0:
-            take = min(chunk_ops, remaining)
-            remaining -= take
-            chunk = TraceChunk([self._record() for _ in range(take)])
-            if on_chunk is not None:
-                on_chunk(chunk)
-            yield from chunk.records
 
 
 @dataclass

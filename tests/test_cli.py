@@ -150,6 +150,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "removed" in out
 
+    def test_cache_stats_json(self, capsys):
+        import json
+
+        assert main(["--ops", "150", "--warmup", "50", "run", "lbm06", "ideal"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] >= 1
+        assert "bytes" in stats and "dir" in stats
+
+    def test_stats_metrics_filter(self, capsys):
+        assert main(
+            [
+                "--ops", "200", "--warmup", "100",
+                "stats", "lbm06", "ideal",
+                "--metrics", "dram.reads,runner.executed",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dram.reads" in out
+        assert "runner.executed" in out
+        assert "llc.hits" not in out
+
+    def test_stats_metrics_filter_json(self, capsys):
+        import json
+
+        assert main(
+            [
+                "--ops", "200", "--warmup", "100",
+                "stats", "lbm06", "ideal",
+                "--json", "--metrics", "llc.misses",
+            ]
+        ) == 0
+        assert list(json.loads(capsys.readouterr().out)) == ["llc.misses"]
+
+    def test_stats_missing_metric_exits_cleanly(self, capsys):
+        """Satellite: a cached result lacking a metric must not traceback."""
+        args = ["--ops", "200", "--warmup", "100", "stats", "lbm06", "ideal"]
+        assert main(args) == 0  # populate the cache
+        capsys.readouterr()
+        assert main([*args, "--metrics", "added.in.a.later.pr"]) == 2
+        out = capsys.readouterr().out
+        assert "metrics not present in this result" in out
+        assert "Traceback" not in out
+
 
 class TestTimelineCLI:
     ARGS = ["--ops", "200", "--warmup", "100", "timeline", "lbm06", "ideal"]
@@ -190,7 +235,22 @@ class TestTimelineCLI:
         assert main(
             [*self.ARGS, "--interval", "300", "--metrics", "no.such.path"]
         ) == 2
-        assert "unknown metric path" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "series not present in this result" in out
+        assert "available:" in out
+
+    def test_timeline_missing_series_on_cached_result_exits_cleanly(self, capsys):
+        """Satellite: a cached result lacking a series must not traceback."""
+        assert main([*self.ARGS, "--interval", "300"]) == 0
+        capsys.readouterr()
+        before = runner.stats.executed
+        assert main(
+            [*self.ARGS, "--interval", "300", "--metrics", "added.in.a.later.pr"]
+        ) == 2
+        assert runner.stats.executed == before  # second call hit the cache
+        out = capsys.readouterr().out
+        assert "series not present in this result" in out
+        assert "Traceback" not in out
 
     def test_timeline_replays_from_cache_with_series(self, capsys):
         assert main([*self.ARGS, "--interval", "300"]) == 0
@@ -404,3 +464,113 @@ class TestPolicyCLI:
         out = capsys.readouterr().out
         assert "llc.policy_evictions" in out
         assert "llc.wasted_prefetches" in out
+
+
+class TestTraceCLI:
+    @pytest.fixture(autouse=True)
+    def _isolated_trace_store(self, tmp_path, monkeypatch):
+        import repro.traces.store as store_module
+        from repro.traces.replay import clear_record_memo
+        from repro.traces.store import configure_trace_store
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        configure_trace_store(tmp_path / "traces")
+        clear_record_memo()
+        yield
+        clear_record_memo()
+        store_module._default_store = None
+
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "toy.trace"
+        lines = ["# toy trace"]
+        for i in range(200):
+            op = "w" if i % 4 == 0 else "r"
+            lines.append(f"{op} {((0x4000 + (i * 7) % 40) * 64):#x}")
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_parser_subcommands(self):
+        args = build_parser().parse_args(["trace", "ingest", "t.trace", "--lenient"])
+        assert args.command == "trace" and args.trace_command == "ingest"
+        assert args.lenient
+        args = build_parser().parse_args(["trace", "run", "abc123", "--no-loop"])
+        assert args.trace_command == "run"
+        assert args.trace_hash == "abc123"
+        assert args.no_loop
+
+    def test_ingest_list_info_run_round_trip(self, capsys, trace_file):
+        assert main(["trace", "ingest", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested: trace:" in out
+        digest = [ln for ln in out.splitlines() if ln.startswith("full hash:")][0]
+        digest = digest.split()[-1]
+
+        assert main(["trace", "ingest", str(trace_file), "--name", "again"]) == 0
+        assert "deduplicated" in capsys.readouterr().out
+
+        assert main(["trace", "list"]) == 0
+        out = capsys.readouterr().out
+        assert digest[:12] in out and "toy.trace" in out
+
+        assert main(["trace", "info", digest[:8]]) == 0
+        out = capsys.readouterr().out
+        assert "reuse distance" in out
+
+        assert main(
+            [
+                "--ops", "150", "--warmup", "100",
+                "trace", "run", digest[:12], "--designs", "ideal",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"trace:{digest[:12]}" in out
+        assert "replayed" in out
+
+    def test_trace_run_hits_disk_cache_on_second_invocation(self, capsys, trace_file):
+        assert main(["trace", "ingest", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        digest = [ln for ln in out.splitlines() if ln.startswith("full hash:")][0]
+        digest = digest.split()[-1]
+        args = [
+            "--ops", "150", "--warmup", "100",
+            "trace", "run", digest[:12], "--designs", "ideal",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert " 0 executed" in second  # runs now served from cache
+
+        def table_rows(text):
+            return [ln for ln in text.splitlines() if ln.startswith("ideal")]
+
+        assert table_rows(first) == table_rows(second)
+
+    def test_unknown_trace_hash_is_a_clean_error(self, capsys):
+        assert main(["trace", "info", "feedface"]) == 2
+        assert "trace error" in capsys.readouterr().out
+        assert main(["trace", "run", "feedface"]) == 2
+        assert "trace error" in capsys.readouterr().out
+
+    def test_missing_trace_file_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["trace", "ingest", str(tmp_path / "nope.trace")]) == 2
+        assert "no such trace file" in capsys.readouterr().out
+
+    def test_strict_ingest_reports_line_number(self, capsys, tmp_path):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("r 0x40\nwat\n")
+        assert main(["trace", "ingest", str(bad)]) == 2
+        out = capsys.readouterr().out
+        assert "line 2" in out
+        assert main(["trace", "ingest", str(bad), "--lenient"]) == 0
+        assert "1 lines skipped" in capsys.readouterr().out
+
+    def test_committed_example_trace_ingests(self, capsys):
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[1] / "examples" / "traces"
+        assert main(["trace", "ingest", str(example / "example_mix.trace")]) == 0
+        out = capsys.readouterr().out
+        assert "ingested: trace:" in out
+        assert "13056 records" in out
