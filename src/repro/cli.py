@@ -14,6 +14,7 @@ Examples::
     python -m repro trace run <hash> -j 4      # replay it across designs
 
     python -m repro serve                      # job-queue daemon
+    python -m repro worker --url http://h:8035 # drain a remote daemon's queue
     python -m repro submit lbm06 dynamic_ptmc  # enqueue over HTTP
     python -m repro wait <job-id>              # block until done
     python -m repro result <job-id>            # fetch the SimResult
@@ -521,7 +522,7 @@ def cmd_trace(args) -> int:
 def _client(args):
     from repro.service.client import ServiceClient
 
-    return ServiceClient(args.url)
+    return ServiceClient(args.url, token=getattr(args, "token", None))
 
 
 def _job_row(job: dict) -> list:
@@ -559,6 +560,11 @@ def cmd_serve(args) -> int:
         max_attempts=args.max_attempts,
         drain_seconds=args.drain_seconds,
         log_stream=None if args.quiet else sys.stderr,
+        token=args.token,
+        lease_seconds=args.lease_seconds,
+        reaper_interval=args.reaper_interval,
+        max_queued=args.max_queued,
+        rate_limit=args.rate_limit,
     )
 
     def _stop(signum, frame):
@@ -566,15 +572,63 @@ def cmd_serve(args) -> int:
 
     signal.signal(signal.SIGTERM, _stop)
     signal.signal(signal.SIGINT, _stop)
+    workers = "remote-only" if args.remote_only else args.workers
     print(
         f"repro service listening on {daemon.url} "
         f"(db={daemon.store.path}, cache={daemon.cache.root}, "
-        f"workers={daemon.scheduler.workers})",
+        f"workers={workers})",
         flush=True,
     )
-    daemon.run()
+    if args.remote_only:
+        # Queue + reaper + HTTP only: execution belongs to remote
+        # ``repro worker`` processes claiming over the API.
+        daemon.start(run_scheduler=False)
+        while not daemon.scheduler.stopping:
+            time.sleep(0.2)
+        daemon.stop()
+    else:
+        daemon.run()
     print("repro service drained cleanly", flush=True)
     return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.obs.logging import StructuredLog
+    from repro.service.worker import RemoteWorker
+
+    if args.no_disk_cache:
+        print("repro worker needs the disk cache (results are written "
+              "through it before upload); drop --no-disk-cache")
+        return 2
+    worker = RemoteWorker(
+        url=args.url,
+        worker_id=args.worker_id,
+        concurrency=args.workers,
+        lease_seconds=args.lease_seconds,
+        poll_interval=args.poll,
+        drain_seconds=args.drain_seconds,
+        token=args.token,
+        max_jobs=args.max_jobs,
+        log=StructuredLog(stream=None if args.quiet else sys.stderr),
+    )
+
+    def _stop(signum, frame):
+        worker.request_stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(
+        f"repro worker {worker.worker_id} draining {worker.client.url} "
+        f"(concurrency={worker.concurrency}, lease={worker.lease_seconds:g}s)",
+        flush=True,
+    )
+    stats = worker.run()
+    print(
+        f"repro worker exiting: {stats.completed} completed, "
+        f"{stats.failed} failed, {stats.lease_lost} leases lost",
+        flush=True,
+    )
+    return 0 if stats.upload_errors == 0 else 1
 
 
 def cmd_submit(args) -> int:
@@ -888,6 +942,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help=f"service address (default: $REPRO_SERVICE_URL or {default_url()})",
         )
+        p.add_argument(
+            "--token",
+            default=None,
+            help="bearer token for an auth-enabled daemon "
+            "(default: $REPRO_SERVICE_TOKEN)",
+        )
         if waitable:
             p.add_argument(
                 "--timeout",
@@ -938,6 +998,86 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the structured JSON event log (stderr by default)",
     )
+    serve.add_argument(
+        "--token",
+        default=None,
+        help="bearer token required on mutating requests "
+        "(default: $REPRO_SERVICE_TOKEN; unset = open)",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="work-lease duration for claimed jobs; a worker that stops "
+        "heartbeating loses its jobs after this long",
+    )
+    serve.add_argument(
+        "--reaper-interval",
+        type=float,
+        default=1.0,
+        help="how often the daemon scans for expired leases (seconds)",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=10_000,
+        help="reject new submissions (429) beyond this queue depth "
+        "(0 = unbounded)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="per-client requests/second ceiling (token bucket; 0 = off)",
+    )
+    serve.add_argument(
+        "--remote-only",
+        action="store_true",
+        help="run no local workers: queue, reaper, and HTTP only "
+        "(execution is left to 'repro worker' processes)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="drain a remote daemon's queue on this machine"
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity for leases/telemetry (default: hostname:pid)",
+    )
+    worker.add_argument(
+        "--workers", type=int, default=2, help="simulation worker processes"
+    )
+    worker.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=15.0,
+        help="lease duration requested per claim (renewed at half-lease)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="idle poll interval when the queue is empty (seconds)",
+    )
+    worker.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=30.0,
+        help="grace period for in-flight jobs on SIGTERM/SIGINT",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after finishing this many jobs (default: run forever)",
+    )
+    worker.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the structured JSON event log (stderr by default)",
+    )
+    _service_args(worker)
 
     submit = sub.add_parser("submit", help="enqueue one job on the service")
     submit.add_argument("workload")
@@ -1022,6 +1162,7 @@ def main(argv=None) -> int:
         "cache": cmd_cache,
         "trace": cmd_trace,
         "serve": cmd_serve,
+        "worker": cmd_worker,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
         "wait": cmd_wait,

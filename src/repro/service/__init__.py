@@ -9,34 +9,57 @@ same content-addressed disk cache the offline runner uses — so the
 service and CLI sweeps share one result store, and re-submitting a
 solved identity completes instantly.
 
+The queue also shards across machines: remote ``repro worker``
+processes (:class:`~repro.service.worker.RemoteWorker`) claim jobs over
+the same HTTP API under renewable work leases, execute them with the
+identical parallel primitives, and upload results back into the
+daemon's cache.  A lease reaper re-queues the claims of workers that
+stop heartbeating, so a crashed worker costs one lease interval, never
+a job.  Mutating routes can require a bearer token
+(``$REPRO_SERVICE_TOKEN``) and are protected by queue-depth
+backpressure and optional per-client rate limiting (HTTP 429 +
+``Retry-After``).
+
 Layout:
 
 - :mod:`repro.service.jobstore` — durable queue (states, priorities,
-  dedup, crash recovery)
+  dedup, work leases, crash recovery)
 - :mod:`repro.service.scheduler` — worker pool, timeouts, retry with
   exponential backoff, graceful drain
-- :mod:`repro.service.api` — HTTP JSON routes
+- :mod:`repro.service.api` — HTTP JSON routes (auth, backpressure)
 - :mod:`repro.service.client` — urllib client used by the CLI verbs
+- :mod:`repro.service.worker` — remote claim/execute/upload loop
 - :mod:`repro.service.daemon` — one process wiring it all together
 
-See DESIGN.md §8 for the architecture and the state machine.
+See DESIGN.md §8 for the architecture and the state machine, and §13
+for the distributed sweep fabric.
 """
 
 from repro.service.client import JobFailed, ServiceClient, ServiceError, default_url
-from repro.service.daemon import ServiceDaemon, SubmitError
+from repro.service.daemon import (
+    QueueFullError,
+    ServiceDaemon,
+    SubmitError,
+    WorkerProtocolError,
+)
 from repro.service.jobstore import Job, JobStore, default_db_path
 from repro.service.scheduler import Scheduler, ServiceStats
+from repro.service.worker import RemoteWorker, WorkerStats
 
 __all__ = [
     "Job",
     "JobFailed",
     "JobStore",
+    "QueueFullError",
+    "RemoteWorker",
     "Scheduler",
     "ServiceClient",
     "ServiceDaemon",
     "ServiceError",
     "ServiceStats",
     "SubmitError",
+    "WorkerProtocolError",
+    "WorkerStats",
     "default_db_path",
     "default_url",
 ]

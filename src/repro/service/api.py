@@ -9,6 +9,17 @@ Routes (all JSON in, JSON out)::
     GET    /jobs/<id>        one job
     GET    /jobs/<id>/result the finished job's SimResult JSON
     DELETE /jobs/<id>        cancel a queued job
+    POST   /jobs/claim       lease the best queued job to a worker
+                             {worker_id, lease_seconds?} -> job or
+                             {"job": null} when the queue is empty
+    POST   /jobs/<id>/heartbeat
+                             renew a worker's lease {worker_id,
+                             lease_seconds?}; 409 when the lease is lost
+    PUT    /jobs/<id>/result upload a worker's finished result
+                             {worker_id, result, source?}; the daemon
+                             caches it and marks the job done
+    POST   /jobs/<id>/fail   report a worker-side failure {worker_id,
+                             error} (retries with backoff like local)
     POST   /traces           upload {content | content_b64, name?, format?,
                              mode?} -> characterization sidecar (201 new,
                              200 when deduplicated by content hash)
@@ -16,30 +27,45 @@ Routes (all JSON in, JSON out)::
     GET    /traces/<hash>    one trace's characterization (prefix ok)
     GET    /healthz          liveness + queue counts + uptime
     GET    /metrics          telemetry registry dump (service.*, runner.*,
-                             trace.*)
+                             trace.*, worker.*)
     GET    /metrics?format=prometheus
                              the same registry as Prometheus text
                              exposition (scrapeable by stock tooling)
 
 Errors are ``{"error": <message>}`` with a meaningful status: 400 for a
-bad submission, 404 unknown job, 409 for result-of-unfinished or
-cancel-of-running, 410 when a done job's cache entry was pruned.  Every
-error body is JSON — including the stdlib-generated ones (unsupported
-method, unparseable request line), via the ``send_error`` override.
+bad submission, 401 for a missing/invalid bearer token on a mutating
+route, 404 unknown job, 409 for result-of-unfinished, cancel-of-running
+or a lost lease, 410 when a done job's cache entry was pruned, 429
+(with ``Retry-After``) under rate limiting or queue backpressure.
+Every error body is JSON — including the stdlib-generated ones
+(unsupported method, unparseable request line), via the ``send_error``
+override.
+
+Auth: when the daemon holds a token (``REPRO_SERVICE_TOKEN`` or the
+``--token`` flag), every mutating request (POST/PUT/DELETE) must carry
+``Authorization: Bearer <token>``; comparison is constant-time.  Reads
+stay open — metrics scrapers and dashboards need no secret.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs import prometheus
 from repro.obs.tracing import span
 from repro.service import jobstore
-from repro.service.daemon import IngestError, SubmitError
+from repro.service.daemon import (
+    IngestError,
+    LeaseLostError,
+    QueueFullError,
+    SubmitError,
+    WorkerProtocolError,
+)
 from repro.traces.store import TraceStoreError
 
 if TYPE_CHECKING:
@@ -48,17 +74,29 @@ if TYPE_CHECKING:
 #: Maximum accepted request body, bytes (a job submission is tiny).
 MAX_BODY_BYTES = 1 << 20
 
+#: Result uploads carry a full SimResult (with time series) — allow more.
+MAX_RESULT_BODY_BYTES = 16 << 20
+
 #: Trace uploads carry whole trace files (base64 in JSON) — allow more.
 MAX_TRACE_BODY_BYTES = 64 << 20
 
+#: ``Retry-After`` hint on queue-full backpressure responses, seconds.
+QUEUE_FULL_RETRY_AFTER = 2.0
+
 
 class ApiError(Exception):
-    """An HTTP-visible error: (status, message)."""
+    """An HTTP-visible error: (status, message[, extra headers])."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -73,18 +111,28 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # quiet by default; telemetry covers observability
 
-    def _reply(self, status: int, payload: Any) -> None:
+    def _reply(
+        self, status: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._reply_bytes(status, body, "application/json")
+        self._reply_bytes(status, body, "application/json", headers)
 
     def _reply_text(self, status: int, text: str, content_type: str) -> None:
         self._reply_bytes(status, text.encode("utf-8"), content_type)
 
-    def _reply_bytes(self, status: int, body: bytes, content_type: str) -> None:
+    def _reply_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -128,18 +176,53 @@ class _Handler(BaseHTTPRequestHandler):
         except KeyError as exc:
             raise ApiError(404, str(exc)) from None
 
+    def _check_rate_limit(self, collection: str) -> None:
+        """Token-bucket limiting per client address (``/healthz`` exempt)."""
+        if collection == "healthz":
+            return
+        client = self.client_address[0] if self.client_address else "?"
+        allowed, retry_after = self.daemon_ref.limiter.allow(client)
+        if not allowed:
+            raise ApiError(
+                429,
+                "rate limit exceeded; slow down",
+                headers={"Retry-After": f"{max(retry_after, 0.001):.3f}"},
+            )
+
+    def _check_auth(self, method: str) -> None:
+        """Constant-time bearer-token check on mutating methods."""
+        token = self.daemon_ref.token
+        if token is None or method == "GET":
+            return
+        header = self.headers.get("Authorization") or ""
+        presented = header[7:] if header.startswith("Bearer ") else ""
+        if not hmac.compare_digest(presented.encode(), token.encode()):
+            raise ApiError(
+                401,
+                "missing or invalid bearer token",
+                headers={"WWW-Authenticate": "Bearer"},
+            )
+
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
         self._status = 0
         with span("http.request", category="http", method=method, path=self.path):
             try:
                 collection, job_id, sub, query = self._route()
+                self._check_rate_limit(collection)
+                self._check_auth(method)
                 handler = getattr(self, f"_{method}_{collection}", None)
                 if handler is None:
+                    # PUT exists solely for /jobs/<id>/result; elsewhere
+                    # it stays 501 exactly as before do_PUT existed.
+                    if method == "PUT" and collection != "jobs":
+                        raise ApiError(
+                            501, f"method PUT not supported on /{collection}"
+                        )
                     raise ApiError(404, f"no route for {method} {self.path!r}")
                 handler(job_id, sub, query)
             except ApiError as exc:
-                self._reply(exc.status, {"error": exc.message})
+                self._reply(exc.status, {"error": exc.message}, exc.headers)
             except Exception as exc:  # noqa: BLE001 — never kill the server thread
                 self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
         elapsed = time.perf_counter() - started
@@ -160,19 +243,82 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self._dispatch("POST")
 
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
     def do_DELETE(self) -> None:  # noqa: N802
         self._dispatch("DELETE")
 
     # -- routes ----------------------------------------------------------
 
     def _POST_jobs(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id == "claim" and sub is None:
+            self._claim_job()
+            return
+        if job_id is not None and sub == "heartbeat":
+            self._heartbeat_job(job_id)
+            return
+        if job_id is not None and sub == "fail":
+            self._fail_job(job_id)
+            return
         if job_id is not None or sub is not None:
-            raise ApiError(404, "POST only to /jobs")
+            raise ApiError(404, "POST only to /jobs, /jobs/claim, "
+                                "/jobs/<id>/heartbeat, or /jobs/<id>/fail")
         try:
             job, created = self.daemon_ref.submit(self._body())
+        except QueueFullError as exc:
+            raise ApiError(
+                429,
+                str(exc),
+                headers={"Retry-After": f"{QUEUE_FULL_RETRY_AFTER:.3f}"},
+            ) from None
         except SubmitError as exc:
             raise ApiError(400, str(exc)) from None
         self._reply(201 if created else 200, {"job": job.as_dict(), "created": created})
+
+    def _claim_job(self) -> None:
+        try:
+            job = self.daemon_ref.claim_job(self._body())
+        except WorkerProtocolError as exc:
+            raise ApiError(400, str(exc)) from None
+        self._reply(200, {"job": job.as_dict() if job is not None else None})
+
+    def _heartbeat_job(self, job_id: str) -> None:
+        try:
+            job = self.daemon_ref.heartbeat_job(job_id, self._body())
+        except WorkerProtocolError as exc:
+            raise ApiError(400, str(exc)) from None
+        except KeyError as exc:
+            raise ApiError(404, str(exc)) from None
+        except LeaseLostError as exc:
+            raise ApiError(409, str(exc)) from None
+        self._reply(200, {"job": job.as_dict()})
+
+    def _fail_job(self, job_id: str) -> None:
+        try:
+            job = self.daemon_ref.remote_fail(job_id, self._body())
+        except WorkerProtocolError as exc:
+            raise ApiError(400, str(exc)) from None
+        except KeyError as exc:
+            raise ApiError(404, str(exc)) from None
+        except LeaseLostError as exc:
+            raise ApiError(409, str(exc)) from None
+        self._reply(200, {"job": job.as_dict()})
+
+    def _PUT_jobs(self, job_id, sub, query) -> None:  # noqa: N802
+        if job_id is None or sub != "result":
+            raise ApiError(404, "PUT only to /jobs/<id>/result")
+        try:
+            job = self.daemon_ref.remote_result(
+                job_id, self._body(max_bytes=MAX_RESULT_BODY_BYTES)
+            )
+        except WorkerProtocolError as exc:
+            raise ApiError(400, str(exc)) from None
+        except KeyError as exc:
+            raise ApiError(404, str(exc)) from None
+        except LeaseLostError as exc:
+            raise ApiError(409, str(exc)) from None
+        self._reply(200, {"job": job.as_dict()})
 
     def _GET_jobs(self, job_id, sub, query) -> None:  # noqa: N802
         if job_id is None:
@@ -264,4 +410,11 @@ def make_server(
     return server
 
 
-__all__ = ["ApiError", "MAX_BODY_BYTES", "MAX_TRACE_BODY_BYTES", "make_server"]
+__all__ = [
+    "ApiError",
+    "MAX_BODY_BYTES",
+    "MAX_RESULT_BODY_BYTES",
+    "MAX_TRACE_BODY_BYTES",
+    "QUEUE_FULL_RETRY_AFTER",
+    "make_server",
+]

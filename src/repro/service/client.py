@@ -33,12 +33,19 @@ def default_url() -> str:
 
 
 class ServiceError(RuntimeError):
-    """The daemon answered with an error (or could not be reached)."""
+    """The daemon answered with an error (or could not be reached).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the daemon's ``Retry-After`` hint (seconds)
+    on 429 backpressure/rate-limit answers, ``None`` otherwise.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class JobFailed(ServiceError):
@@ -52,19 +59,35 @@ class JobFailed(ServiceError):
 
 
 class ServiceClient:
-    """Talks JSON to one daemon; raises :class:`ServiceError` on failure."""
+    """Talks JSON to one daemon; raises :class:`ServiceError` on failure.
 
-    def __init__(self, url: Optional[str] = None, timeout: float = 10.0) -> None:
+    ``token`` (default ``$REPRO_SERVICE_TOKEN``) is sent as a bearer
+    token on every request; daemons without auth ignore it.
+    """
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        timeout: float = 10.0,
+        token: Optional[str] = None,
+    ) -> None:
         self.url = (url or default_url()).rstrip("/")
         self.timeout = timeout
+        self.token = (
+            token if token is not None
+            else os.environ.get("REPRO_SERVICE_TOKEN") or None
+        )
 
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> Any:
         data = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
         request = urllib.request.Request(
             f"{self.url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -74,7 +97,14 @@ class ServiceClient:
                 message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
             except Exception:  # noqa: BLE001 — error body is best-effort
                 message = str(exc)
-            raise ServiceError(exc.code, message) from None
+            retry_after = None
+            raw = exc.headers.get("Retry-After") if exc.headers else None
+            if raw is not None:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    pass
+            raise ServiceError(exc.code, message, retry_after=retry_after) from None
         except urllib.error.URLError as exc:
             raise ServiceError(0, f"cannot reach {self.url}: {exc.reason}") from None
 
@@ -158,6 +188,49 @@ class ServiceClient:
             if deadline is not None and time.monotonic() > deadline:
                 raise ServiceError(408, f"timed out waiting for job {job_id}")
             time.sleep(poll)
+
+    # -- worker protocol (used by ``repro worker``) ----------------------
+
+    def claim(
+        self, worker_id: str, lease_seconds: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Lease the best queued job; ``None`` when the queue is empty."""
+        payload: Dict[str, Any] = {"worker_id": worker_id}
+        if lease_seconds is not None:
+            payload["lease_seconds"] = lease_seconds
+        return self._request("POST", "/jobs/claim", payload)["job"]
+
+    def heartbeat(
+        self,
+        job_id: str,
+        worker_id: str,
+        lease_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Renew a lease; raises :class:`ServiceError` (409) when lost."""
+        payload: Dict[str, Any] = {"worker_id": worker_id}
+        if lease_seconds is not None:
+            payload["lease_seconds"] = lease_seconds
+        return self._request("POST", f"/jobs/{job_id}/heartbeat", payload)["job"]
+
+    def upload_result(
+        self,
+        job_id: str,
+        worker_id: str,
+        result: SimResult,
+        source: str = "remote",
+    ) -> Dict[str, Any]:
+        """Replicate a finished result to the daemon's cache; job -> done."""
+        payload = {
+            "worker_id": worker_id,
+            "result": result.to_json_dict(),
+            "source": source,
+        }
+        return self._request("PUT", f"/jobs/{job_id}/result", payload)["job"]
+
+    def fail_job(self, job_id: str, worker_id: str, error: str) -> Dict[str, Any]:
+        """Report a worker-side failure (daemon applies its retry policy)."""
+        payload = {"worker_id": worker_id, "error": error}
+        return self._request("POST", f"/jobs/{job_id}/fail", payload)["job"]
 
     def upload_trace(
         self,

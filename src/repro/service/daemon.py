@@ -21,9 +21,11 @@ JSON by ``GET /metrics``.
 
 from __future__ import annotations
 
+import os
+import re
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cache.replacement import POLICIES
 from repro.obs.logging import StructuredLog
@@ -38,9 +40,9 @@ from repro.service.scheduler import (
 )
 from repro.sim import runner
 from repro.sim.diskcache import DiskCache, cache_key
-from repro.sim.results import SimResult
+from repro.sim.results import ResultDecodeError, SimResult
 from repro.sim.system import DESIGNS
-from repro.telemetry import StatRegistry
+from repro.telemetry import StatRegistry, StatScope
 from repro.traces.formats import TraceParseError
 from repro.traces.store import TraceStore, TraceStoreError, trace_store
 
@@ -50,13 +52,129 @@ ALLOWED_CONFIG_KEYS = (
     frozenset({"ops_per_core", "warmup_ops", "llc_policy"}) | TRACE_CONFIG_KEYS
 )
 
+#: Environment variable holding the shared bearer token.  When set (on
+#: the daemon) every mutating request must present it; when set on a
+#: client/worker process it is sent automatically.
+SERVICE_TOKEN_ENV = "REPRO_SERVICE_TOKEN"
+
 
 class SubmitError(ValueError):
     """A job submission that can never run (bad workload/design/config)."""
 
 
+class QueueFullError(SubmitError):
+    """The bounded job queue is at capacity (backpressure: retry later)."""
+
+
 class IngestError(ValueError):
     """A trace upload that cannot be stored (bad payload/format)."""
+
+
+class WorkerProtocolError(ValueError):
+    """A malformed claim/heartbeat/result/fail request from a worker."""
+
+
+class LeaseLostError(RuntimeError):
+    """The caller no longer holds the job's lease (reaped or re-owned)."""
+
+
+def _worker_path_segment(worker_id: str) -> str:
+    """A registry-legal path segment for one worker id."""
+    segment = re.sub(r"[^a-z0-9_]", "_", worker_id.lower())
+    return segment or "unknown"
+
+
+class WorkerTracker:
+    """Live-worker accounting behind the ``worker.*`` telemetry scope.
+
+    Every claim/heartbeat/result touch marks the worker as seen; a
+    worker is "live" while its last touch is younger than
+    ``live_horizon`` (three lease intervals by default — long enough to
+    ride out a missed heartbeat, short enough that a dead worker drops
+    off the gauge promptly).
+    """
+
+    def __init__(self, live_horizon: float = 90.0) -> None:
+        self.live_horizon = live_horizon
+        self._lock = threading.Lock()
+        self._last_seen: Dict[str, float] = {}
+        self._completed: Dict[str, int] = {}
+        self.lease_expirations = 0
+        self._scope: Optional[StatScope] = None
+
+    def register_stats(self, scope: StatScope) -> None:
+        self._scope = scope
+        scope.gauge("live", self.live, doc="workers seen within the horizon")
+        scope.counter(
+            "lease_expirations",
+            lambda: self.lease_expirations,
+            doc="claims re-queued because their lease lapsed",
+        )
+
+    def seen(self, worker_id: str, now: Optional[float] = None) -> None:
+        now = time.time() if now is None else now
+        with self._lock:
+            self._last_seen[worker_id] = now
+
+    def completed(self, worker_id: str) -> None:
+        self.seen(worker_id)
+        with self._lock:
+            register = worker_id not in self._completed and self._scope is not None
+            self._completed[worker_id] = self._completed.get(worker_id, 0) + 1
+        if register:
+            # First completion: surface a per-worker counter on /metrics.
+            self._scope.counter(
+                f"completed.{_worker_path_segment(worker_id)}",
+                (lambda w=worker_id: self._completed.get(w, 0)),
+                doc=f"jobs completed by worker {worker_id}",
+            )
+
+    def lease_expired(self, worker_id: Optional[str]) -> None:
+        self.lease_expirations += 1
+        if worker_id:
+            with self._lock:
+                # an expired lease is *evidence of absence*: forget the
+                # worker so the live gauge drops without waiting out the
+                # horizon
+                self._last_seen.pop(worker_id, None)
+
+    def live(self, now: Optional[float] = None) -> int:
+        now = time.time() if now is None else now
+        horizon = now - self.live_horizon
+        with self._lock:
+            return sum(1 for seen in self._last_seen.values() if seen >= horizon)
+
+    def completions(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._completed)
+
+
+class TokenBucketLimiter:
+    """Per-client token buckets: ``rate`` requests/second, ``burst`` deep.
+
+    ``allow`` returns ``(ok, retry_after_seconds)``; a rate of 0
+    disables limiting entirely.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(2 * self.rate, 1.0)
+        self._lock = threading.Lock()
+        #: client -> (tokens, last refill time)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+
+    def allow(self, client: str, now: Optional[float] = None) -> Tuple[bool, float]:
+        if self.rate <= 0:
+            return True, 0.0
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            tokens, last = self._buckets.get(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[client] = (tokens - 1.0, now)
+                return True, 0.0
+            self._buckets[client] = (tokens, now)
+            return False, (1.0 - tokens) / self.rate
 
 
 class ServiceDaemon:
@@ -75,6 +193,12 @@ class ServiceDaemon:
         drain_seconds: float = 30.0,
         backoff_base: float = 0.5,
         log_stream=None,
+        token: Optional[str] = None,
+        lease_seconds: float = 30.0,
+        reaper_interval: float = 1.0,
+        max_queued: int = 10_000,
+        rate_limit: float = 0.0,
+        rate_burst: Optional[float] = None,
     ) -> None:
         self.store = JobStore(db_path)
         if cache_dir is not None:
@@ -93,6 +217,18 @@ class ServiceDaemon:
         self.stats = ServiceStats()
         self.max_attempts = max_attempts
         self.started_at = time.time()
+        #: shared bearer token guarding mutating routes (None = open)
+        self.token = (
+            token if token is not None else os.environ.get(SERVICE_TOKEN_ENV) or None
+        )
+        self.lease_seconds = lease_seconds
+        self.reaper_interval = reaper_interval
+        #: queued-row ceiling for backpressure (0 = unbounded)
+        self.max_queued = max_queued
+        self.limiter = TokenBucketLimiter(rate_limit, rate_burst)
+        self.workers_seen = WorkerTracker(live_horizon=3 * lease_seconds)
+        self._reaper_thread: Optional[threading.Thread] = None
+        self._reaper_stop = threading.Event()
         #: structured JSON event log (``log_stream=None`` keeps it off,
         #: the default for embedded/test daemons; ``repro serve`` passes
         #: stderr)
@@ -105,12 +241,14 @@ class ServiceDaemon:
             default_timeout=default_timeout,
             drain_seconds=drain_seconds,
             backoff_base=backoff_base,
+            lease_seconds=lease_seconds,
             stats=self.stats,
             log=self.log,
         )
         self.registry = StatRegistry()
         service_scope = self.registry.scope("service")
         self.stats.register_stats(service_scope, self.store)
+        self.workers_seen.register_stats(self.registry.scope("worker"))
         service_scope.gauge(
             "uptime_seconds",
             lambda: round(time.time() - self.started_at, 3),
@@ -212,6 +350,15 @@ class ServiceDaemon:
             )
             self.stats.dedup_cache += 1
             return job, created
+        if self.max_queued and self.store.active_for_key(key) is None:
+            # Backpressure: only genuinely-new rows count against the
+            # bound — joining an active twin adds no queue depth.
+            depth = self.store.counts()[jobstore.QUEUED]
+            if depth >= self.max_queued:
+                raise QueueFullError(
+                    f"job queue is full ({depth} >= {self.max_queued} queued); "
+                    f"retry later"
+                )
         job, created = self.store.submit(
             workload_name,
             design,
@@ -286,6 +433,155 @@ class ServiceDaemon:
         """The completed job's :class:`SimResult` from the shared cache."""
         return self.cache.get(job.key)
 
+    # -- remote-worker protocol (claim / heartbeat / result / fail) ------
+
+    @staticmethod
+    def _worker_fields(payload: Any) -> Tuple[str, float]:
+        if not isinstance(payload, dict):
+            raise WorkerProtocolError("worker payload must be a JSON object")
+        worker_id = payload.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise WorkerProtocolError("'worker_id' is a required string")
+        lease = payload.get("lease_seconds")
+        lease = float(lease) if lease is not None else 0.0
+        return worker_id, lease
+
+    def claim_job(self, payload: Dict[str, Any]) -> Optional[Job]:
+        """Lease the best queued job to a remote worker (``None`` = empty)."""
+        worker_id, lease = self._worker_fields(payload)
+        lease = lease or self.lease_seconds
+        if lease <= 0:
+            raise WorkerProtocolError("lease_seconds must be > 0")
+        self.workers_seen.seen(worker_id)
+        job = self.store.claim(worker_id=worker_id, lease_seconds=lease)
+        if job is not None:
+            self.log.event(
+                "job_claimed",
+                job_id=job.id,
+                worker_id=worker_id,
+                lease_seconds=lease,
+            )
+        return job
+
+    def heartbeat_job(self, job_id: str, payload: Dict[str, Any]) -> Job:
+        """Renew a worker's lease; raises :class:`LeaseLostError` if gone."""
+        worker_id, lease = self._worker_fields(payload)
+        self.workers_seen.seen(worker_id)
+        job = self.store.find(job_id)  # KeyError -> 404 at the API layer
+        ok = self.store.heartbeat(
+            job.id, worker_id, lease or self.lease_seconds
+        )
+        if not ok:
+            raise LeaseLostError(
+                f"job {job.id} is not leased to worker {worker_id!r} "
+                f"(state {self.store.get(job.id).state})"
+            )
+        return self.store.get(job.id)
+
+    def remote_result(self, job_id: str, payload: Dict[str, Any]) -> Job:
+        """Adopt a worker's finished result: cache it, mark the job done.
+
+        The payload carries the :meth:`SimResult.to_json_dict` dict; the
+        daemon writes it through its content-addressed cache under the
+        job's key, so results replicate to the shared store exactly as
+        if the local pool had produced them.
+        """
+        worker_id, _lease = self._worker_fields(payload)
+        job = self.store.find(job_id)
+        result_dict = payload.get("result")
+        if not isinstance(result_dict, dict):
+            raise WorkerProtocolError("'result' must be a SimResult JSON object")
+        try:
+            result = SimResult.from_json_dict(result_dict)
+        except (ResultDecodeError, TypeError, ValueError, KeyError) as exc:
+            raise WorkerProtocolError(f"undecodable result payload: {exc}") from None
+        if result.design != job.design:
+            raise WorkerProtocolError(
+                f"result is for design {result.design!r}, job wants {job.design!r}"
+            )
+        source = payload.get("source") or "remote"
+        if not isinstance(source, str):
+            raise WorkerProtocolError("'source' must be a string")
+        # Persist before the state flip so a GET /jobs/<id>/result that
+        # races the transition never sees done-without-result.
+        self.cache.put(job.key, result)
+        if not self.store.finish(job.id, source, worker_id=worker_id):
+            raise LeaseLostError(
+                f"job {job.id} is no longer leased to worker {worker_id!r}; "
+                f"result cached but job state unchanged"
+            )
+        self.stats.completed += 1
+        self.workers_seen.completed(worker_id)
+        self.log.event(
+            "job_completed", job_id=job.id, source=source, worker_id=worker_id
+        )
+        return self.store.get(job.id)
+
+    def remote_fail(self, job_id: str, payload: Dict[str, Any]) -> Job:
+        """Record a worker-side failure (retries with backoff like local)."""
+        worker_id, _lease = self._worker_fields(payload)
+        job = self.store.find(job_id)
+        error = str(payload.get("error") or "worker reported failure")
+        self.workers_seen.seen(worker_id)
+        if job.attempts < job.max_attempts:
+            delay = min(
+                self.scheduler.backoff_base
+                * self.scheduler.backoff_factor ** (max(job.attempts, 1) - 1),
+                self.scheduler.backoff_max,
+            )
+            ok = self.store.fail(
+                job.id, error, retry_delay=delay, worker_id=worker_id
+            )
+            if ok:
+                self.stats.retried += 1
+        else:
+            ok = self.store.fail(job.id, error, worker_id=worker_id)
+            if ok:
+                self.stats.failed += 1
+        if not ok:
+            raise LeaseLostError(
+                f"job {job.id} is no longer leased to worker {worker_id!r}"
+            )
+        self.log.event(
+            "job_worker_failed", job_id=job.id, worker_id=worker_id, error=error
+        )
+        return self.store.get(job.id)
+
+    # -- lease reaper ----------------------------------------------------
+
+    def reap_leases(self) -> List[Job]:
+        """One reaper pass: requeue/fail every job whose lease lapsed."""
+        reaped = self.store.reap_expired()
+        for job in reaped:
+            self.workers_seen.lease_expired(job.worker_id)
+            self.log.event(
+                "lease_expired",
+                job_id=job.id,
+                worker_id=job.worker_id,
+                attempt=job.attempts,
+            )
+        return reaped
+
+    def _reaper_loop(self) -> None:
+        while not self._reaper_stop.wait(self.reaper_interval):
+            try:
+                self.reap_leases()
+            except Exception:  # noqa: BLE001 — never kill the reaper thread
+                pass
+
+    def _start_reaper(self) -> None:
+        self._reaper_stop.clear()
+        self._reaper_thread = threading.Thread(
+            target=self._reaper_loop, name="repro-service-reaper", daemon=True
+        )
+        self._reaper_thread.start()
+
+    def _stop_reaper(self) -> None:
+        self._reaper_stop.set()
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(5.0)
+            self._reaper_thread = None
+
     def health(self) -> Dict[str, Any]:
         counts = self.store.counts()
         return {
@@ -295,6 +591,9 @@ class ServiceDaemon:
             "queue_depth": counts[jobstore.QUEUED],
             "inflight": self.scheduler.inflight,
             "workers": self.scheduler.workers,
+            "live_workers": self.workers_seen.live(),
+            "lease_seconds": self.lease_seconds,
+            "auth": self.token is not None,
             "draining": self.scheduler.stopping,
             "cache_dir": str(self.cache.root),
             "trace_dir": str(self.traces.root),
@@ -308,11 +607,12 @@ class ServiceDaemon:
     # -- lifecycle -------------------------------------------------------
 
     def start(self, run_scheduler: bool = True) -> None:
-        """Start HTTP (and optionally the scheduler) on background threads."""
+        """Start HTTP, the lease reaper (and optionally the scheduler)."""
         self._http_thread = threading.Thread(
             target=self.server.serve_forever, name="repro-service-http", daemon=True
         )
         self._http_thread.start()
+        self._start_reaper()
         if run_scheduler:
             self._scheduler_thread = threading.Thread(
                 target=self.scheduler.run, name="repro-service-scheduler", daemon=True
@@ -325,9 +625,11 @@ class ServiceDaemon:
             target=self.server.serve_forever, name="repro-service-http", daemon=True
         )
         self._http_thread.start()
+        self._start_reaper()
         try:
             self.scheduler.run()
         finally:
+            self._stop_reaper()
             self._stop_http()
             self.store.close()
 
@@ -341,6 +643,7 @@ class ServiceDaemon:
         if self._scheduler_thread is not None:
             self._scheduler_thread.join(timeout)
             self._scheduler_thread = None
+        self._stop_reaper()
         self._stop_http()
         self.store.close()
 
@@ -352,4 +655,15 @@ class ServiceDaemon:
             self._http_thread = None
 
 
-__all__ = ["ALLOWED_CONFIG_KEYS", "IngestError", "ServiceDaemon", "SubmitError"]
+__all__ = [
+    "ALLOWED_CONFIG_KEYS",
+    "IngestError",
+    "LeaseLostError",
+    "QueueFullError",
+    "SERVICE_TOKEN_ENV",
+    "ServiceDaemon",
+    "SubmitError",
+    "TokenBucketLimiter",
+    "WorkerProtocolError",
+    "WorkerTracker",
+]

@@ -11,17 +11,27 @@ State machine::
     queued ──claim──▶ running ──finish──▶ done
       ▲                 │
       │   retry/drain/  ├──fail (attempts exhausted)──▶ failed
-      └───orphan────────┘
+      └─lease expiry────┘
     queued ──cancel──▶ cancelled
 
 Identical jobs deduplicate on their cache key: a partial unique index
 over active rows guarantees at most one ``queued``/``running`` job per
 (workload, design, config) identity, and :meth:`JobStore.submit`
-returns the existing row instead of inserting a twin.
+returns the existing row instead of inserting a twin (raising the
+surviving row's priority when the new submission outranks it).
 
-The store is safe for concurrent use from the HTTP handler threads and
-the scheduler thread of one daemon process (one connection guarded by a
-lock, WAL journal, ``BEGIN IMMEDIATE`` claims).
+Claims are *leases*: :meth:`JobStore.claim` records which worker took
+the job (``worker_id``) and until when the claim is valid
+(``lease_until``).  Workers renew via :meth:`JobStore.heartbeat`; a
+reaper (:meth:`JobStore.reap_expired`) continuously re-queues jobs
+whose lease lapsed — a crashed or partitioned worker loses its jobs
+within one lease interval instead of holding them forever.  Owner
+guards on :meth:`finish`/:meth:`fail` make a worker that lost its
+lease unable to complete a job that has since been handed elsewhere.
+
+The store is safe for concurrent use from the HTTP handler threads,
+the scheduler thread, and the reaper thread of one daemon process (one
+connection guarded by a lock, WAL journal, ``BEGIN IMMEDIATE`` claims).
 """
 
 from __future__ import annotations
@@ -80,13 +90,23 @@ CREATE TABLE IF NOT EXISTS jobs (
     created_at   REAL NOT NULL,
     updated_at   REAL NOT NULL,
     started_at   REAL,
-    finished_at  REAL
+    finished_at  REAL,
+    worker_id    TEXT,
+    lease_until  REAL
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_claim
     ON jobs (state, not_before, priority, created_at);
 CREATE UNIQUE INDEX IF NOT EXISTS idx_jobs_active_key
     ON jobs (key) WHERE state IN ('queued', 'running');
 """
+
+#: Columns added after the v1 schema shipped; applied by ALTER TABLE on
+#: databases created before them (CREATE TABLE IF NOT EXISTS is a no-op
+#: there).
+_MIGRATIONS = (
+    ("worker_id", "TEXT"),
+    ("lease_until", "REAL"),
+)
 
 @dataclasses.dataclass
 class Job:
@@ -109,6 +129,8 @@ class Job:
     updated_at: float
     started_at: Optional[float]
     finished_at: Optional[float]
+    worker_id: Optional[str] = None
+    lease_until: Optional[float] = None
 
     @property
     def terminal(self) -> bool:
@@ -138,6 +160,15 @@ def _row_to_job(row: sqlite3.Row) -> Job:
         updated_at=row["updated_at"],
         started_at=row["started_at"],
         finished_at=row["finished_at"],
+        worker_id=row["worker_id"],
+        lease_until=row["lease_until"],
+    )
+
+
+def _escape_like(prefix: str) -> str:
+    """Escape LIKE wildcards in a user-supplied prefix (``ESCAPE '\\'``)."""
+    return (
+        prefix.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
     )
 
 
@@ -154,6 +185,15 @@ class JobStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+            existing = {
+                row["name"]
+                for row in self._conn.execute("PRAGMA table_info(jobs)")
+            }
+            for column, decl in _MIGRATIONS:
+                if column not in existing:
+                    self._conn.execute(
+                        f"ALTER TABLE jobs ADD COLUMN {column} {decl}"
+                    )
             self._conn.commit()
 
     def close(self) -> None:
@@ -178,8 +218,11 @@ class JobStore:
 
         Returns ``(job, created)``: when an active (queued/running) job
         already exists for ``key`` the existing row is returned with
-        ``created=False``.  ``state=DONE`` records an instantly-complete
-        job (the submit path found a cached result).
+        ``created=False`` — after raising its priority to
+        ``MAX(existing, new)``, so joining a higher-priority submission
+        never leaves the surviving row stuck at its old rank.
+        ``state=DONE`` records an instantly-complete job (the submit
+        path found a cached result).
         """
         if state not in (QUEUED, DONE):
             raise ValueError(f"jobs are submitted queued or done, not {state!r}")
@@ -192,6 +235,14 @@ class JobStore:
                     (key, QUEUED, RUNNING),
                 ).fetchone()
                 if existing is not None:
+                    if priority > existing["priority"]:
+                        self._conn.execute(
+                            "UPDATE jobs SET priority = ?, updated_at = ? "
+                            "WHERE id = ?",
+                            (priority, now, existing["id"]),
+                        )
+                        self._conn.commit()
+                        return self.get(existing["id"]), False
                     return _row_to_job(existing), False
             self._conn.execute(
                 "INSERT INTO jobs (id, key, workload, design, config_json, "
@@ -219,13 +270,24 @@ class JobStore:
 
     # -- scheduler side --------------------------------------------------
 
-    def claim(self, now: Optional[float] = None) -> Optional[Job]:
-        """Atomically move the best eligible queued job to ``running``.
+    def claim(
+        self,
+        now: Optional[float] = None,
+        worker_id: Optional[str] = None,
+        lease_seconds: Optional[float] = None,
+    ) -> Optional[Job]:
+        """Atomically lease the best eligible queued job to one worker.
 
         Eligibility honours backoff (``not_before``); ordering is
-        priority (higher first), then FIFO on submission time.
+        priority (higher first), then FIFO on submission time.  The
+        claimed row records ``worker_id`` and, when ``lease_seconds``
+        is given, ``lease_until = now + lease_seconds`` — the deadline
+        by which the worker must :meth:`heartbeat` or lose the job to
+        :meth:`reap_expired`.  A claim without a lease (legacy callers)
+        is never reaped.
         """
         now = time.time() if now is None else now
+        lease_until = (now + lease_seconds) if lease_seconds else None
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
@@ -239,8 +301,9 @@ class JobStore:
                     return None
                 self._conn.execute(
                     "UPDATE jobs SET state = ?, attempts = attempts + 1, "
-                    "started_at = ?, updated_at = ? WHERE id = ?",
-                    (RUNNING, now, now, row["id"]),
+                    "started_at = ?, updated_at = ?, worker_id = ?, "
+                    "lease_until = ? WHERE id = ?",
+                    (RUNNING, now, now, worker_id, lease_until, row["id"]),
                 )
                 self._conn.commit()
             except BaseException:
@@ -248,32 +311,122 @@ class JobStore:
                 raise
             return self.get(row["id"])
 
-    def finish(self, job_id: str, source: str) -> None:
-        """``running -> done`` (result already persisted in the disk cache)."""
-        self._transition(job_id, RUNNING, DONE, source=source)
+    def heartbeat(
+        self,
+        job_id: str,
+        worker_id: Optional[str] = None,
+        lease_seconds: float = 30.0,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Renew one running job's lease; ``False`` means the lease is lost.
+
+        The renewal is owner-guarded: a worker whose job was reaped (and
+        possibly re-leased to another worker) gets ``False`` back and
+        must abandon the attempt — its eventual ``finish``/``fail`` will
+        be rejected by the same guard.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET lease_until = ?, updated_at = ? "
+                "WHERE id = ? AND state = ? AND worker_id IS ?",
+                (now + lease_seconds, now, job_id, RUNNING, worker_id),
+            )
+            self._conn.commit()
+            return cur.rowcount > 0
+
+    def reap_expired(self, now: Optional[float] = None) -> List[Job]:
+        """Re-queue (or terminally fail) every job whose lease lapsed.
+
+        The claim's attempt is *not* refunded — a job whose worker keeps
+        dying must still exhaust its bounded retries.  A job already on
+        its last attempt fails terminally here rather than looping.
+        Returns the reaped jobs as they were *before* reaping (so the
+        caller can see which worker lost each lease).
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE state = ? "
+                "AND lease_until IS NOT NULL AND lease_until < ?",
+                (RUNNING, now),
+            ).fetchall()
+            expired = [_row_to_job(row) for row in rows]
+            for job in expired:
+                if job.attempts >= job.max_attempts:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, error = ?, updated_at = ?, "
+                        "finished_at = ?, lease_until = NULL "
+                        "WHERE id = ? AND state = ?",
+                        (
+                            FAILED,
+                            f"lease expired (worker {job.worker_id or '?'} "
+                            f"presumed dead; attempts exhausted)",
+                            now,
+                            now,
+                            job.id,
+                            RUNNING,
+                        ),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, not_before = 0, "
+                        "started_at = NULL, worker_id = NULL, "
+                        "lease_until = NULL, updated_at = ? "
+                        "WHERE id = ? AND state = ?",
+                        (QUEUED, now, job.id, RUNNING),
+                    )
+            self._conn.commit()
+        return expired
+
+    def finish(
+        self, job_id: str, source: str, worker_id: Optional[str] = None
+    ) -> bool:
+        """``running -> done`` (result already persisted in the disk cache).
+
+        When ``worker_id`` is given the transition is owner-guarded:
+        ``False`` means the caller no longer holds the lease (the job
+        was reaped and re-queued or handed to another worker).
+        """
+        return self._transition(
+            job_id, RUNNING, DONE, source=source, worker_id=worker_id
+        )
 
     def fail(
         self,
         job_id: str,
         error: str,
         retry_delay: Optional[float] = None,
-    ) -> None:
-        """``running -> failed``, or back to ``queued`` after ``retry_delay``."""
+        worker_id: Optional[str] = None,
+    ) -> bool:
+        """``running -> failed``, or back to ``queued`` after ``retry_delay``.
+
+        The retrying path clears the claim bookkeeping (``started_at``,
+        ``worker_id``, ``lease_until``) exactly like requeue/reap do, so
+        a re-queued row never carries a stale claim.  Owner-guarded when
+        ``worker_id`` is given (see :meth:`finish`).
+        """
         now = time.time()
+        guard = "" if worker_id is None else " AND worker_id IS ?"
+        guard_args = () if worker_id is None else (worker_id,)
         with self._lock:
             if retry_delay is None:
-                self._conn.execute(
+                cur = self._conn.execute(
                     "UPDATE jobs SET state = ?, error = ?, updated_at = ?, "
-                    "finished_at = ? WHERE id = ? AND state = ?",
-                    (FAILED, error, now, now, job_id, RUNNING),
+                    "finished_at = ?, lease_until = NULL "
+                    f"WHERE id = ? AND state = ?{guard}",
+                    (FAILED, error, now, now, job_id, RUNNING, *guard_args),
                 )
             else:
-                self._conn.execute(
+                cur = self._conn.execute(
                     "UPDATE jobs SET state = ?, error = ?, not_before = ?, "
-                    "updated_at = ? WHERE id = ? AND state = ?",
-                    (QUEUED, error, now + retry_delay, now, job_id, RUNNING),
+                    "started_at = NULL, worker_id = NULL, lease_until = NULL, "
+                    f"updated_at = ? WHERE id = ? AND state = ?{guard}",
+                    (QUEUED, error, now + retry_delay, now, job_id, RUNNING,
+                     *guard_args),
                 )
             self._conn.commit()
+            return cur.rowcount > 0
 
     def requeue(self, job_id: str, refund_attempt: bool = False) -> None:
         """``running -> queued`` (graceful drain; optionally refund the claim)."""
@@ -282,28 +435,35 @@ class JobStore:
         with self._lock:
             self._conn.execute(
                 "UPDATE jobs SET state = ?, not_before = 0, started_at = NULL, "
+                "worker_id = NULL, lease_until = NULL, "
                 "attempts = MAX(attempts - ?, 0), updated_at = ? "
                 "WHERE id = ? AND state = ?",
                 (QUEUED, refund, now, job_id, RUNNING),
             )
             self._conn.commit()
 
-    def recover_orphans(self) -> List[Job]:
-        """Re-queue every ``running`` job (crash recovery at daemon boot).
+    def recover_orphans(self, only_leaseless: bool = False) -> List[Job]:
+        """Re-queue ``running`` jobs abandoned by a crash (daemon boot).
 
-        Unlike a graceful drain, the claim's attempt is *not* refunded —
-        a job that keeps crashing the daemon must still exhaust its
-        bounded retries instead of looping forever.
+        ``only_leaseless=True`` restricts recovery to rows claimed
+        without a lease (legacy lease-less schedulers): *leased* rows
+        are left for the continuous reaper (:meth:`reap_expired`), since
+        a live remote worker may still legitimately hold them across a
+        daemon restart.  Unlike a graceful drain, the claim's attempt is
+        *not* refunded — a job that keeps crashing the daemon must still
+        exhaust its bounded retries instead of looping forever.
         """
         now = time.time()
+        lease_filter = " AND lease_until IS NULL" if only_leaseless else ""
         with self._lock:
             rows = self._conn.execute(
-                "SELECT id FROM jobs WHERE state = ?", (RUNNING,)
+                f"SELECT id FROM jobs WHERE state = ?{lease_filter}", (RUNNING,)
             ).fetchall()
             ids = [row["id"] for row in rows]
             self._conn.execute(
                 "UPDATE jobs SET state = ?, not_before = 0, started_at = NULL, "
-                "updated_at = ? WHERE state = ?",
+                "worker_id = NULL, lease_until = NULL, "
+                f"updated_at = ? WHERE state = ?{lease_filter}",
                 (QUEUED, now, RUNNING),
             )
             self._conn.commit()
@@ -323,6 +483,15 @@ class JobStore:
             self._conn.commit()
             return cur.rowcount > 0
 
+    def active_for_key(self, key: str) -> Optional[Job]:
+        """The queued/running job occupying ``key``'s dedup slot, if any."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE key = ? AND state IN (?, ?)",
+                (key, QUEUED, RUNNING),
+            ).fetchone()
+        return _row_to_job(row) if row is not None else None
+
     def get(self, job_id: str) -> Job:
         with self._lock:
             row = self._conn.execute(
@@ -333,11 +502,16 @@ class JobStore:
         return _row_to_job(row)
 
     def find(self, job_id_prefix: str) -> Job:
-        """Exact-id lookup, falling back to a unique id prefix (CLI sugar)."""
+        """Exact-id lookup, falling back to a unique id prefix (CLI sugar).
+
+        The prefix is user input, so LIKE metacharacters (``%``, ``_``)
+        are escaped — ``repro wait '%'`` must not match every job.
+        """
         with self._lock:
             rows = self._conn.execute(
-                "SELECT * FROM jobs WHERE id = ? OR id LIKE ? LIMIT 3",
-                (job_id_prefix, job_id_prefix + "%"),
+                "SELECT * FROM jobs WHERE id = ? OR id LIKE ? ESCAPE '\\' "
+                "LIMIT 3",
+                (job_id_prefix, _escape_like(job_id_prefix) + "%"),
             ).fetchall()
         if not rows:
             raise KeyError(f"no job {job_id_prefix!r}")
@@ -377,16 +551,25 @@ class JobStore:
     # -- internals -------------------------------------------------------
 
     def _transition(
-        self, job_id: str, from_state: str, to_state: str, source: Optional[str]
-    ) -> None:
+        self,
+        job_id: str,
+        from_state: str,
+        to_state: str,
+        source: Optional[str],
+        worker_id: Optional[str] = None,
+    ) -> bool:
         now = time.time()
+        guard = "" if worker_id is None else " AND worker_id IS ?"
+        guard_args = () if worker_id is None else (worker_id,)
         with self._lock:
-            self._conn.execute(
+            cur = self._conn.execute(
                 "UPDATE jobs SET state = ?, source = ?, updated_at = ?, "
-                "finished_at = ? WHERE id = ? AND state = ?",
-                (to_state, source, now, now, job_id, from_state),
+                "finished_at = ?, lease_until = NULL "
+                f"WHERE id = ? AND state = ?{guard}",
+                (to_state, source, now, now, job_id, from_state, *guard_args),
             )
             self._conn.commit()
+            return cur.rowcount > 0
 
 
 __all__ = [

@@ -15,10 +15,18 @@ Policies, in one place:
 - **Per-job timeout.**  A job past its deadline is treated as a failed
   attempt; the worker pool is torn down (terminating the stuck process)
   and rebuilt, and any innocent-bystander jobs in flight are re-queued
-  with their claim refunded.
-- **Crash-orphan recovery.**  At startup every ``running`` row left by
-  a crashed daemon is re-queued (attempts kept — see
-  :meth:`~repro.service.jobstore.JobStore.recover_orphans`).
+  with their claim refunded.  A future that completed between the
+  deadline check and the kill is spared — it is harvested normally on
+  the next pass instead of tearing the pool down for nothing.
+- **Leased claims.**  The scheduler is just one worker among many: its
+  claims carry a ``worker_id`` and a lease, renewed while jobs are in
+  flight, and its ``finish``/``fail`` transitions are owner-guarded —
+  if the daemon stalls long enough for the lease reaper to hand a job
+  elsewhere, the late local result is discarded instead of clobbering
+  the new owner's row.
+- **Crash-orphan recovery.**  At startup every *lease-less* ``running``
+  row left by a legacy daemon is re-queued; leased rows are left to the
+  continuous reaper (a live remote worker may still hold them).
 - **Graceful drain.**  ``request_stop()`` (wired to SIGTERM/SIGINT by
   the CLI) stops claiming, waits up to ``drain_seconds`` for in-flight
   jobs to finish, re-queues (with refund) whatever is still running,
@@ -28,10 +36,11 @@ Policies, in one place:
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.logging import StructuredLog
 from repro.obs.tracing import async_begin, async_end
@@ -156,6 +165,8 @@ class Scheduler:
         backoff_factor: float = 2.0,
         backoff_max: float = 60.0,
         drain_seconds: float = 30.0,
+        lease_seconds: float = 30.0,
+        worker_id: Optional[str] = None,
         stats: Optional[ServiceStats] = None,
         log: Optional[StructuredLog] = None,
     ) -> None:
@@ -169,12 +180,17 @@ class Scheduler:
         self.backoff_factor = backoff_factor
         self.backoff_max = backoff_max
         self.drain_seconds = drain_seconds
+        self.lease_seconds = lease_seconds
+        self.worker_id = worker_id or f"local:{os.getpid()}"
         self.stats = stats or ServiceStats()
         self.log = log or StructuredLog()
         self._stop = threading.Event()
         self._pool: Optional[ProcessPoolExecutor] = None
-        #: job id -> (job, future, absolute deadline or None, dispatch time)
-        self._inflight: Dict[str, Tuple[Job, Future, Optional[float], float]] = {}
+        #: job id -> (job, future, absolute deadline or None, dispatch
+        #: time, next lease-renewal time)
+        self._inflight: Dict[
+            str, Tuple[Job, Future, Optional[float], float, float]
+        ] = {}
 
     # -- control ---------------------------------------------------------
 
@@ -193,8 +209,13 @@ class Scheduler:
     # -- main loop -------------------------------------------------------
 
     def run(self) -> None:
-        """Block, executing jobs until :meth:`request_stop`; then drain."""
-        orphans = self.store.recover_orphans()
+        """Block, executing jobs until :meth:`request_stop`; then drain.
+
+        Only *lease-less* orphans (rows from a legacy scheduler) are
+        recovered at boot; leased rows are the reaper's business — a
+        live remote worker may still hold them.
+        """
+        orphans = self.store.recover_orphans(only_leaseless=True)
         self.stats.orphans_recovered += len(orphans)
         self.log.event(
             "scheduler_started", workers=self.workers, orphans_recovered=len(orphans)
@@ -204,6 +225,7 @@ class Scheduler:
             while not self._stop.is_set():
                 progressed = self._reap()
                 progressed |= self._dispatch()
+                self._renew_leases()
                 if not progressed:
                     self._stop.wait(self.poll_interval)
             self._drain()
@@ -238,7 +260,9 @@ class Scheduler:
     def _dispatch(self) -> bool:
         dispatched = False
         while len(self._inflight) < self.workers:
-            job = self.store.claim()
+            job = self.store.claim(
+                worker_id=self.worker_id, lease_seconds=self.lease_seconds
+            )
             if job is None:
                 break
             dispatched = True
@@ -253,7 +277,10 @@ class Scheduler:
             future = self._pool.submit(parallel.run_job, (workload, job.design, config))
             timeout = job.timeout if job.timeout is not None else self.default_timeout
             deadline = (time.time() + timeout) if timeout else None
-            self._inflight[job.id] = (job, future, deadline, time.perf_counter())
+            renew_at = time.time() + self.lease_seconds / 2
+            self._inflight[job.id] = (
+                job, future, deadline, time.perf_counter(), renew_at
+            )
             async_begin(
                 "service.job",
                 job.id,
@@ -271,11 +298,20 @@ class Scheduler:
         return dispatched
 
     def _reap(self) -> bool:
-        """Harvest finished futures and enforce deadlines."""
+        """Harvest finished futures and enforce deadlines.
+
+        *Every* expired job is collected per pass (a loop that keeps
+        only the last one would let its siblings run unbounded until
+        their own next pass), and expiry is only declared after a final
+        :meth:`Future.done` check — a job that completed between the
+        deadline check and the kill is harvested, not failed.
+        """
         progressed = False
         now = time.time()
-        timed_out: Optional[Tuple[Job, Future]] = None
-        for job_id, (job, future, deadline, started) in list(self._inflight.items()):
+        expired: List[Tuple[Job, Future]] = []
+        for job_id, (job, future, deadline, started, _renew) in list(
+            self._inflight.items()
+        ):
             if future.done():
                 del self._inflight[job_id]
                 progressed = True
@@ -292,38 +328,73 @@ class Scheduler:
                     self._record_failure(job, error)
                 else:
                     del result  # persisted by the worker via the disk cache
-                    self.store.finish(job_id, source)
-                    self.stats.completed += 1
-                    async_end(
-                        "service.job", job_id, category="service", outcome="done"
-                    )
-                    self.log.event(
-                        "job_completed",
-                        job_id=job_id,
-                        source=source,
-                        seconds=round(elapsed, 6),
-                    )
+                    if self.store.finish(job_id, source, worker_id=self.worker_id):
+                        self.stats.completed += 1
+                        async_end(
+                            "service.job", job_id, category="service", outcome="done"
+                        )
+                        self.log.event(
+                            "job_completed",
+                            job_id=job_id,
+                            source=source,
+                            seconds=round(elapsed, 6),
+                        )
+                    else:
+                        # Lease lost mid-run: the reaper re-queued the job
+                        # (and someone else may own it now).  The result is
+                        # in the disk cache regardless, so nothing is lost.
+                        async_end(
+                            "service.job", job_id, category="service",
+                            outcome="lease_lost",
+                        )
+                        self.log.event("job_lease_lost", job_id=job_id)
             elif deadline is not None and now > deadline:
-                timed_out = (job, future)
-        if timed_out is not None:
-            self._on_timeout(*timed_out)
-            progressed = True
+                expired.append((job, future))
+        if expired:
+            progressed |= self._on_timeout(expired)
         return progressed
 
-    def _on_timeout(self, job: Job, future: Future) -> None:
-        """Kill the pool (stuck worker), requeue bystanders, rebuild."""
-        self.stats.timeouts += 1
+    def _on_timeout(self, expired: List[Tuple[Job, Future]]) -> bool:
+        """Kill the pool (stuck workers), requeue bystanders, rebuild.
+
+        Futures that finished between the caller's ``done()`` check and
+        here are spared — if nothing is actually stuck the pool
+        survives, and the completed futures are harvested next pass.
+        """
+        stuck = [(job, future) for job, future in expired if not future.done()]
+        if not stuck:
+            return False
+        stuck_ids = {job.id for job, _ in stuck}
+        self.stats.timeouts += len(stuck)
         self._kill_pool()
-        for other_id, (other, _future, _deadline, _started) in list(
-            self._inflight.items()
-        ):
-            if other_id != job.id:
-                self.store.requeue(other_id, refund_attempt=True)
-        self._inflight.clear()
-        async_end("service.job", job.id, category="service", outcome="timeout")
-        self.log.event("job_timeout", job_id=job.id)
-        self._record_failure(job, "timeout: job exceeded its deadline")
+        for job, _future in stuck:
+            del self._inflight[job.id]
+            async_end("service.job", job.id, category="service", outcome="timeout")
+            self.log.event("job_timeout", job_id=job.id)
+            self._record_failure(job, "timeout: job exceeded its deadline")
+        for other_id, (_job, future, _dl, _st, _rn) in list(self._inflight.items()):
+            if future.done():
+                continue  # finished before the kill: harvest next pass
+            self.store.requeue(other_id, refund_attempt=True)
+            del self._inflight[other_id]
         self._pool = self._new_pool()
+        return True
+
+    def _renew_leases(self) -> None:
+        """Heartbeat in-flight jobs before their lease lapses."""
+        now = time.time()
+        for job_id, entry in list(self._inflight.items()):
+            job, future, deadline, started, renew_at = entry
+            if now < renew_at:
+                continue
+            ok = self.store.heartbeat(
+                job_id, self.worker_id, self.lease_seconds, now=now
+            )
+            if not ok:
+                self.log.event("job_lease_lost", job_id=job_id)
+            self._inflight[job_id] = (
+                job, future, deadline, started, now + self.lease_seconds / 2
+            )
 
     def _record_failure(self, job: Job, error: str) -> None:
         if job.attempts < job.max_attempts:
@@ -331,21 +402,24 @@ class Scheduler:
                 self.backoff_base * self.backoff_factor ** (job.attempts - 1),
                 self.backoff_max,
             )
-            self.store.fail(job.id, error, retry_delay=delay)
-            self.stats.retried += 1
-            self.log.event(
-                "job_retried",
-                job_id=job.id,
-                error=error,
-                attempt=job.attempts,
-                retry_delay=delay,
+            failed = self.store.fail(
+                job.id, error, retry_delay=delay, worker_id=self.worker_id
             )
+            if failed:
+                self.stats.retried += 1
+                self.log.event(
+                    "job_retried",
+                    job_id=job.id,
+                    error=error,
+                    attempt=job.attempts,
+                    retry_delay=delay,
+                )
         else:
-            self.store.fail(job.id, error)
-            self.stats.failed += 1
-            self.log.event(
-                "job_failed", job_id=job.id, error=error, attempt=job.attempts
-            )
+            if self.store.fail(job.id, error, worker_id=self.worker_id):
+                self.stats.failed += 1
+                self.log.event(
+                    "job_failed", job_id=job.id, error=error, attempt=job.attempts
+                )
 
     # -- drain -----------------------------------------------------------
 

@@ -1,0 +1,335 @@
+"""Remote sweep worker: claims jobs over HTTP, executes, uploads results.
+
+``repro worker`` runs one :class:`RemoteWorker` against a daemon's HTTP
+API — the distributed counterpart of the daemon's in-process
+:class:`~repro.service.scheduler.Scheduler`, built from the same
+execution primitives (:func:`repro.sim.parallel.init_worker` /
+:func:`repro.sim.parallel.run_job`).  Many workers on many machines can
+drain one queue; the daemon's scheduler pool is just another worker.
+
+Protocol, in claim order:
+
+1. ``POST /jobs/claim`` leases the best queued job to this
+   ``worker_id`` for ``lease_seconds``.
+2. While the job executes on the local process pool the worker renews
+   via ``POST /jobs/<id>/heartbeat`` (at half-lease cadence).  A 409
+   means the lease was reaped — the attempt is *abandoned*: the local
+   future is left to finish into the local disk cache, but nothing is
+   uploaded and the slot is not double-counted.
+3. ``PUT /jobs/<id>/result`` replicates the finished
+   :class:`~repro.sim.results.SimResult` into the daemon's
+   content-addressed cache and flips the job to ``done``; worker-side
+   errors go to ``POST /jobs/<id>/fail`` (the daemon applies the same
+   retry/backoff policy as for local failures).
+
+Execution writes through the worker's *local* disk cache first
+(:func:`repro.sim.parallel.init_worker` configures it in the pool), so
+a worker that re-claims a previously computed identity answers from
+disk instantly, and an upload lost to a crash costs one lease interval,
+not the simulation.
+
+If the worker dies mid-job (crash, SIGKILL, network partition), the
+daemon's lease reaper re-queues its claims within one lease interval —
+no job is ever lost to a dead worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.logging import StructuredLog
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import config_from_overrides, resolve_job_workload
+from repro.sim import parallel, runner
+from repro.traces.store import TraceStoreError
+
+
+def default_worker_id() -> str:
+    """``<hostname>:<pid>`` — unique enough per live worker process."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@dataclasses.dataclass
+class WorkerStats:
+    """One worker process's counters (reported at exit and by tests)."""
+
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    invalid: int = 0
+    lease_lost: int = 0
+    upload_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class RemoteWorker:
+    """Drains a remote daemon's queue through a local process pool."""
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        concurrency: int = 1,
+        lease_seconds: float = 15.0,
+        poll_interval: float = 0.5,
+        drain_seconds: float = 30.0,
+        cache_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        token: Optional[str] = None,
+        max_jobs: Optional[int] = None,
+        log: Optional[StructuredLog] = None,
+    ) -> None:
+        self.client = ServiceClient(url, token=token)
+        self.worker_id = worker_id or default_worker_id()
+        self.concurrency = max(1, concurrency)
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+        self.drain_seconds = drain_seconds
+        if cache_dir is None and runner.disk_cache() is not None:
+            cache_dir = str(runner.disk_cache().root)
+        self.cache_dir = cache_dir
+        if trace_dir is None:
+            from repro.traces.store import trace_store
+
+            trace_dir = str(trace_store().root)
+        self.trace_dir = trace_dir
+        #: stop after completing/failing this many jobs (None = forever)
+        self.max_jobs = max_jobs
+        self.stats = WorkerStats()
+        self.log = log or StructuredLog()
+        self._stop = threading.Event()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: job id -> (job dict, future, next heartbeat time)
+        self._inflight: Dict[str, Tuple[Dict[str, Any], Future, float]] = {}
+
+    # -- control ---------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the loop to drain in-flight jobs and exit (signal-safe)."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def _done_enough(self) -> bool:
+        if self.max_jobs is None:
+            return False
+        return (self.stats.completed + self.stats.failed) >= self.max_jobs
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> WorkerStats:
+        """Block, claiming and executing jobs until stopped; then drain."""
+        self.log.event(
+            "worker_started",
+            worker_id=self.worker_id,
+            url=self.client.url,
+            concurrency=self.concurrency,
+            lease_seconds=self.lease_seconds,
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.concurrency,
+            initializer=parallel.init_worker,
+            initargs=(self.cache_dir, self.trace_dir),
+        )
+        try:
+            while not self._stop.is_set() and not self._done_enough():
+                progressed = self._harvest()
+                if not self._stop.is_set() and not self._done_enough():
+                    progressed |= self._claim_more()
+                self._heartbeat_inflight()
+                if not progressed:
+                    self._stop.wait(self.poll_interval)
+            self._drain()
+        finally:
+            if self._pool is not None:
+                # Join the pool only when it is quiescent — with futures
+                # still running (abandoned drain or a crashed loop),
+                # wait=True could block for a full job; with the pool
+                # idle, wait=False races interpreter teardown against
+                # the executor's feeder threads (spurious EBADF noise).
+                self._pool.shutdown(
+                    wait=not self._inflight, cancel_futures=True
+                )
+                self._pool = None
+            self.log.event(
+                "worker_stopped", worker_id=self.worker_id, **self.stats.as_dict()
+            )
+        return self.stats
+
+    # -- claim -----------------------------------------------------------
+
+    def _claim_more(self) -> bool:
+        claimed = False
+        while len(self._inflight) < self.concurrency:
+            try:
+                job = self.client.claim(self.worker_id, self.lease_seconds)
+            except ServiceError as exc:
+                # Unreachable/throttled daemon: back off one poll interval.
+                self.log.event(
+                    "worker_claim_error", worker_id=self.worker_id, error=str(exc)
+                )
+                if exc.retry_after:
+                    self._stop.wait(min(exc.retry_after, 5.0))
+                break
+            if job is None:
+                break
+            claimed = True
+            self.stats.claimed += 1
+            if not self._start_job(job):
+                continue
+        return claimed
+
+    def _start_job(self, job: Dict[str, Any]) -> bool:
+        """Resolve and dispatch one claimed job; fail it upstream if bad."""
+        try:
+            workload = resolve_job_workload(job["workload"], job["config"])
+            config = config_from_overrides(job["config"])
+        except (KeyError, TypeError, ValueError, TraceStoreError) as exc:
+            # Unresolvable *here* (e.g. a trace this host never ingested):
+            # report upstream; the daemon's retry policy decides its fate.
+            self.stats.invalid += 1
+            self._report_failure(job["id"], f"worker cannot resolve job: {exc}")
+            return False
+        future = self._pool.submit(
+            parallel.run_job, (workload, job["design"], config)
+        )
+        renew_at = time.time() + self.lease_seconds / 2
+        self._inflight[job["id"]] = (job, future, renew_at)
+        self.log.event(
+            "worker_job_started",
+            worker_id=self.worker_id,
+            job_id=job["id"],
+            workload=job["workload"],
+            design=job["design"],
+        )
+        return True
+
+    # -- heartbeat -------------------------------------------------------
+
+    def _heartbeat_inflight(self) -> None:
+        now = time.time()
+        for job_id, (job, future, renew_at) in list(self._inflight.items()):
+            if now < renew_at or future.done():
+                continue
+            try:
+                self.client.heartbeat(job_id, self.worker_id, self.lease_seconds)
+            except ServiceError as exc:
+                if exc.status in (404, 409):
+                    # Lease reaped (daemon presumed us dead): abandon the
+                    # attempt — the future still finishes into the local
+                    # disk cache, but nothing is uploaded for this id.
+                    self.stats.lease_lost += 1
+                    del self._inflight[job_id]
+                    self.log.event(
+                        "worker_lease_lost",
+                        worker_id=self.worker_id,
+                        job_id=job_id,
+                    )
+                    continue
+                # Transient network error: keep the job, retry next pass.
+                self.log.event(
+                    "worker_heartbeat_error",
+                    worker_id=self.worker_id,
+                    job_id=job_id,
+                    error=str(exc),
+                )
+            self._inflight[job_id] = (
+                job, future, time.time() + self.lease_seconds / 2
+            )
+
+    # -- harvest / upload ------------------------------------------------
+
+    def _harvest(self) -> bool:
+        progressed = False
+        for job_id, (job, future, renew_at) in list(self._inflight.items()):
+            if not future.done():
+                continue
+            del self._inflight[job_id]
+            progressed = True
+            try:
+                result, source, seconds = future.result()
+            except Exception as exc:  # noqa: BLE001 — worker error is data
+                self._report_failure(job_id, f"{type(exc).__name__}: {exc}")
+                continue
+            self._upload(job_id, result, source, seconds)
+        return progressed
+
+    def _upload(self, job_id: str, result, source: str, seconds: float) -> None:
+        try:
+            self.client.upload_result(
+                job_id, self.worker_id, result, source=source
+            )
+        except ServiceError as exc:
+            if exc.status == 409:
+                # Reaped while we computed: the re-queued twin will be
+                # served from some disk cache; nothing is lost.
+                self.stats.lease_lost += 1
+                self.log.event(
+                    "worker_lease_lost", worker_id=self.worker_id, job_id=job_id
+                )
+            else:
+                self.stats.upload_errors += 1
+                self.log.event(
+                    "worker_upload_error",
+                    worker_id=self.worker_id,
+                    job_id=job_id,
+                    error=str(exc),
+                )
+            return
+        self.stats.completed += 1
+        self.log.event(
+            "worker_job_completed",
+            worker_id=self.worker_id,
+            job_id=job_id,
+            source=source,
+            seconds=round(seconds, 6),
+        )
+
+    def _report_failure(self, job_id: str, error: str) -> None:
+        self.stats.failed += 1
+        try:
+            self.client.fail_job(job_id, self.worker_id, error)
+        except ServiceError as exc:
+            self.log.event(
+                "worker_fail_report_error",
+                worker_id=self.worker_id,
+                job_id=job_id,
+                error=str(exc),
+            )
+        self.log.event(
+            "worker_job_failed",
+            worker_id=self.worker_id,
+            job_id=job_id,
+            error=error,
+        )
+
+    # -- drain -----------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Finish and upload in-flight jobs; abandoned leases just expire."""
+        deadline = time.time() + self.drain_seconds
+        while self._inflight and time.time() < deadline:
+            self._heartbeat_inflight()
+            if not self._harvest():
+                time.sleep(min(self.poll_interval, 0.1))
+        # Whatever is still running when the deadline hits is left to the
+        # daemon's lease reaper — the claims expire and re-queue.  The
+        # entries stay in ``_inflight`` so shutdown knows not to wait on
+        # their futures.
+
+
+__all__ = ["RemoteWorker", "WorkerStats", "default_worker_id"]
